@@ -1,0 +1,21 @@
+# Convenience targets for the VerifAI reproduction.
+
+.PHONY: install test bench bench-paper experiments examples lint
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_SCALE=paper pytest benchmarks/ --benchmark-only
+
+experiments:
+	python examples/run_paper_experiments.py paper
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale is controlled with the ``REPRO_SCALE`` environment variable
+(``small`` | ``medium`` | ``paper``); the default keeps a full benchmark
+run to a few minutes.  ``paper`` approximates the corpus shape of the
+original evaluation and is what EXPERIMENTS.md reports.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import get_context
+
+
+def scale_name() -> str:
+    return os.environ.get("REPRO_SCALE", "medium")
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The shared experiment context (lake + workloads + models)."""
+    return get_context(scale_name())
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic end-to-end runs, not microkernels;
+    a single round measures them without repeating minutes of work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,46 @@
+"""Extension experiments beyond the paper's reported numbers.
+
+* the paper's claim that the local (tuple, tuple) verifier is
+  "comparable to ChatGPT" — measured here with the trained classifier;
+* the (text, text) fact-checking pair type the paper declares viable
+  and skips — measured end-to-end on the synthetic lake.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    run_text_fact_checking,
+    run_tuple_verifier_comparison,
+)
+from repro.metrics.tables import format_table
+
+
+def test_bench_local_tuple_verifier(context, benchmark):
+    results = run_once(benchmark, run_tuple_verifier_comparison, context)
+    print()
+    print(
+        format_table(
+            ["verifier", "accuracy"],
+            [["LLM", results["llm_accuracy"]],
+             ["local classifier", results["local_accuracy"]]],
+            title="Extension: local (tuple, tuple) verifier vs LLM",
+        )
+    )
+    # the paper's statement: comparable accuracy
+    assert results["local_accuracy"] >= 0.7
+    assert abs(results["llm_accuracy"] - results["local_accuracy"]) <= 0.15
+
+
+def test_bench_text_fact_checking(context, benchmark):
+    results = run_once(benchmark, run_text_fact_checking, context)
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [[name, value] for name, value in results.items()],
+            title="Extension: (text, text) fact checking",
+        )
+    )
+    # "already demonstrated to be viable": high retrieval recall for
+    # entity claims and solid per-pair verification accuracy
+    assert results["retrieval_recall"] >= 0.8
+    assert results["verifier_accuracy"] >= 0.7

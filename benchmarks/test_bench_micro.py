@@ -1,0 +1,90 @@
+"""Microbenchmarks of the hot paths (indexing and search throughput).
+
+These are conventional pytest-benchmark kernels (many iterations), in
+contrast to the one-shot experiment benches.
+"""
+
+import pytest
+
+from repro.datalake.serialize import serialize_instance, serialize_row
+from repro.datalake.types import Modality
+from repro.embed.vectorizers import HashingVectorizer
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def sample_queries(context):
+    queries = []
+    for generated in context.generated[:20]:
+        row = context.bundle.lake.table(generated.table_id).row(
+            generated.row_index
+        )
+        queries.append(serialize_row(row))
+    return queries
+
+
+def test_bench_bm25_search(context, benchmark, sample_queries):
+    index = context.system.indexer.content_index(Modality.TUPLE)
+
+    def search_all():
+        return [index.search(q, 10) for q in sample_queries]
+
+    hits = benchmark(search_all)
+    assert all(h for h in hits)
+
+
+def test_bench_bm25_build(context, benchmark):
+    payloads = [
+        (row.instance_id, serialize_row(row))
+        for row in list(context.bundle.lake.iter_tuples())[:500]
+    ]
+
+    def build():
+        index = InvertedIndex()
+        for instance_id, payload in payloads:
+            index.add(instance_id, payload)
+        return index
+
+    index = benchmark(build)
+    assert len(index) == len(payloads)
+
+
+def test_bench_hashing_embed(context, benchmark, sample_queries):
+    vectorizer = HashingVectorizer(dim=256)
+
+    def embed_all():
+        return [vectorizer.transform(q) for q in sample_queries]
+
+    vectors = benchmark(embed_all)
+    assert len(vectors) == len(sample_queries)
+
+
+def test_bench_vector_search(context, benchmark, sample_queries):
+    indexer = context.system.indexer
+    # build once outside timing
+    from repro.index.vector import FlatVectorIndex
+
+    vectorizer = HashingVectorizer(dim=128)
+    index = FlatVectorIndex(dim=128, encoder=vectorizer.transform)
+    for doc in context.bundle.lake.documents()[:1000]:
+        index.add(doc.doc_id, serialize_instance(doc))
+
+    def search_all():
+        return [index.search(q, 10) for q in sample_queries]
+
+    hits = benchmark(search_all)
+    assert all(h for h in hits)
+
+
+def test_bench_end_to_end_verify(context, benchmark):
+    from repro.verify.objects import TupleObject
+
+    generated = context.generated[0]
+    table = context.bundle.lake.table(generated.table_id)
+    row = table.row(generated.row_index).replace_value(
+        generated.column, generated.generated_value or "NaN"
+    )
+    obj = TupleObject(object_id="bench", row=row, attribute=generated.column)
+
+    report = benchmark(context.system.verify, obj)
+    assert report.outcomes

@@ -1,0 +1,33 @@
+"""Ablation: approximate vector indexes (the Faiss trade-off).
+
+IVF and HNSW trade a little recall for faster search than exact flat
+scan — the reason the paper points at Faiss/pgvector for the semantic
+index at data-lake scale.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import run_vector_index_ablation
+from repro.metrics.tables import format_table
+
+
+def test_bench_vector_indexes(context, benchmark):
+    results = run_once(benchmark, run_vector_index_ablation, context)
+    print()
+    print(
+        format_table(
+            ["index", "recall@10 vs flat", "build (s)", "search (s)"],
+            [
+                [r.name, r.recall_at_10, round(r.build_seconds, 3),
+                 round(r.search_seconds, 4)]
+                for r in results
+            ],
+            title="Ablation: exact vs approximate vector search",
+        )
+    )
+    by_name = {r.name.split("(")[0]: r for r in results}
+    assert by_name["flat"].recall_at_10 == 1.0
+    # approximate indexes keep most of the recall
+    assert by_name["ivf"].recall_at_10 >= 0.7
+    assert by_name["hnsw"].recall_at_10 >= 0.7
+    # IVF probes a fraction of the cells, so search beats brute force
+    assert by_name["ivf"].search_seconds <= by_name["flat"].search_seconds * 1.5

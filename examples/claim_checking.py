@@ -1,0 +1,71 @@
+"""Fact-checking generated claims with both verifier families.
+
+Runs a batch of TabFact-style claims through the pipeline twice — once
+with the generic LLM verifier and once with the Agent preferring the
+local PASTA verifier for (text, table) pairs — and compares decisions,
+illustrating Section 3.3's privacy/accuracy trade-off.
+
+Run:  python examples/claim_checking.py
+"""
+
+from repro.core.config import VerifAIConfig
+from repro.core.pipeline import VerifAI
+from repro.datalake.types import Modality
+from repro.experiments import get_context
+from repro.verify.objects import ClaimObject
+from repro.verify.pasta import PastaVerifier
+from repro.verify.verdict import Verdict
+
+
+def main() -> None:
+    context = get_context("small")
+
+    llm_system = context.system  # generic LLM verifier (default agent)
+    # PASTA is binary — on irrelevant evidence it still votes, so the
+    # local pipeline must rerank down to the single best table before
+    # verification (the reranker exists for exactly this reason)
+    local_config = VerifAIConfig(
+        prefer_local=True,
+        use_reranker=True,
+        k_coarse=50,
+        k_fine={Modality.TABLE: 1},
+    )
+    local_system = VerifAI(
+        context.bundle.lake,
+        llm=context.verifier_llm,
+        config=local_config,
+        local_verifiers=[PastaVerifier()],
+    ).build_indexes()
+
+    tasks = list(context.claim_workload)[:30]
+    llm_correct = local_correct = 0
+    disagreements = []
+    for task in tasks:
+        obj = ClaimObject(
+            object_id=task.claim.claim_id,
+            text=task.claim.text,
+            context=task.claim.context,
+        )
+        gold = Verdict.VERIFIED if task.label else Verdict.REFUTED
+        llm_report = llm_system.verify(obj)
+        local_report = local_system.verify(obj)
+        if llm_report.final_verdict is gold:
+            llm_correct += 1
+        if local_report.final_verdict is gold:
+            local_correct += 1
+        if llm_report.final_verdict is not local_report.final_verdict:
+            disagreements.append(
+                (task.claim.text, llm_report.final_verdict,
+                 local_report.final_verdict, gold)
+            )
+
+    print(f"claims checked: {len(tasks)}")
+    print(f"LLM-verifier final-verdict accuracy:   {llm_correct / len(tasks):.2f}")
+    print(f"local-verifier final-verdict accuracy: {local_correct / len(tasks):.2f}")
+    print(f"\ndisagreements ({len(disagreements)}):")
+    for text, llm_v, local_v, gold in disagreements[:5]:
+        print(f"  gold={gold} llm={llm_v} local={local_v} :: {text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Regenerate every paper table/figure plus ablations in one run.
+
+Prints the same markdown document EXPERIMENTS.md contains.  Scale is an
+optional argument (default ``small`` for a fast run; ``paper``
+approximates the original corpus shape and is what EXPERIMENTS.md
+reports).
+
+Run:  python examples/run_paper_experiments.py [small|medium|paper]
+"""
+
+import sys
+
+from repro.experiments import get_context
+from repro.experiments.report import render_full_report
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    context = get_context(scale)
+    print(render_full_report(context))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+`pip install -e .` uses PEP 660 and needs the `wheel` package; on
+minimal environments without it, `python setup.py develop` installs an
+egg-link-based editable build with no extra dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — a full reproduction of *VerifAI: Verified Generative AI*
+(Tang, Yang, Fan, Cao; CIDR 2024).
+
+Quickstart::
+
+    from repro import VerifAI, VerifAIConfig
+    from repro.workloads import build_lake, LakeConfig
+    from repro.verify import ClaimObject
+
+    bundle = build_lake(LakeConfig(num_tables=200))
+    system = VerifAI(bundle.lake).build_indexes()
+    report = system.verify(
+        ClaimObject("c1", "the party of ohio 3 is republican")
+    )
+    print(report.summary())
+    print(system.explain(report))
+
+See :mod:`repro.core` for the pipeline, :mod:`repro.workloads` for the
+synthetic corpus, and DESIGN.md for the paper-to-module map.
+"""
+
+from repro.core.config import VerifAIConfig
+from repro.core.pipeline import BatchReport, VerifAI, VerificationReport
+from repro.repair import RepairAction, Repairer, RepairReport
+from repro.verify.objects import ClaimObject, TupleObject
+from repro.verify.verdict import Verdict
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchReport",
+    "ClaimObject",
+    "RepairAction",
+    "RepairReport",
+    "Repairer",
+    "TupleObject",
+    "Verdict",
+    "VerifAI",
+    "VerifAIConfig",
+    "VerificationReport",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Table-grounded claims: model, parsing, execution, and generation.
+
+This package is the substrate behind two parts of the paper:
+
+* the **PASTA-style verifier** (Gu et al., EMNLP 2022) — "table-operations
+  aware fact verification".  :class:`ClaimParser` maps a natural-language
+  claim to a structured table operation; :class:`TableQueryEngine`
+  executes the operation against a table, yielding true/false or
+  *not executable* when the table cannot answer the claim.
+* the **TabFact-style workload** — :class:`ClaimGenerator` produces
+  positive and corrupted-negative claims from lake tables, mirroring the
+  1,300-claim benchmark the paper evaluates on.
+"""
+
+from repro.claims.engine import ExecutionResult, TableQueryEngine
+from repro.claims.generator import ClaimGenerator, GeneratedClaim
+from repro.claims.model import Aggregate, Claim, ClaimOp, ClaimSpec, Comparison
+from repro.claims.parser import ClaimParser
+
+__all__ = [
+    "Aggregate",
+    "Claim",
+    "ClaimGenerator",
+    "ClaimOp",
+    "ClaimParser",
+    "ClaimSpec",
+    "Comparison",
+    "ExecutionResult",
+    "GeneratedClaim",
+    "TableQueryEngine",
+]

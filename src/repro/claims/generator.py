@@ -1,0 +1,323 @@
+"""TabFact-style claim generation from lake tables.
+
+For each table, the generator renders natural-language claims in the
+five operation classes, half true (entailed by the table) and half false
+(corrupted: swapped values, flipped comparisons, perturbed aggregates,
+off-by-k counts).  Each generated claim records its gold label and source
+table, which is how the paper defines retrieval relevance ("each textual
+claim is associated with a corresponding table").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.claims.engine import TableQueryEngine
+from repro.claims.model import Aggregate, Claim, ClaimOp, ClaimSpec, Comparison
+from repro.datalake.types import Table
+from repro.text.numbers import format_number, parse_number
+
+
+@dataclass(frozen=True)
+class GeneratedClaim:
+    """A claim with its gold label and provenance."""
+
+    claim: Claim
+    label: bool
+    table_id: str
+
+
+def _render(spec: ClaimSpec, scope: str, variant: bool = False) -> str:
+    """Render a spec as a surface sentence.
+
+    ``variant=False`` produces the canonical template (parsed by both the
+    strict and the broad grammar); ``variant=True`` produces a paraphrase
+    only the broad grammar handles — modelling claims phrased outside a
+    template-pre-trained verifier's training distribution.
+    """
+    if spec.op is ClaimOp.LOOKUP:
+        if variant:
+            return f"{spec.value} is the {spec.column} of {spec.subject}"
+        return f"the {spec.column} of {spec.subject} is {spec.value}"
+    if spec.op is ClaimOp.COMPARE:
+        if variant:
+            word = (
+                "greater" if spec.comparison is Comparison.HIGHER else "smaller"
+            )
+            return f"{spec.subject} recorded a {word} {spec.column} than {spec.subject_b}"
+        return (
+            f"{spec.subject} has a {spec.comparison.value} "
+            f"{spec.column} than {spec.subject_b}"
+        )
+    if spec.op is ClaimOp.AGGREGATE:
+        if variant:
+            word = {"total": "combined", "average": "mean"}.get(
+                spec.aggregate.value, spec.aggregate.value
+            )
+            return f"the {word} {spec.column} in {scope} is {spec.value}"
+        return f"the {spec.aggregate.value} {spec.column} in {scope} is {spec.value}"
+    if spec.op is ClaimOp.SUPERLATIVE:
+        if variant:
+            word = "most" if spec.comparison is Comparison.HIGHER else "fewest"
+            return f"{spec.subject} recorded the {word} {spec.column} in {scope}"
+        direction = "highest" if spec.comparison is Comparison.HIGHER else "lowest"
+        return f"{spec.subject} has the {direction} {spec.column} in {scope}"
+    if spec.op is ClaimOp.COUNT:
+        if variant:
+            return (
+                f"exactly {spec.count} entries have a {spec.column} "
+                f"of {spec.value} in {scope}"
+            )
+        return (
+            f"there are {spec.count} rows with a {spec.column} of "
+            f"{spec.value} in {scope}"
+        )
+    raise ValueError(f"unknown op: {spec.op}")  # pragma: no cover
+
+
+class ClaimGenerator:
+    """Seeded claim generator over one or more tables.
+
+    ``variation_rate`` is the fraction of claims rendered as paraphrases
+    outside the canonical template grammar (see :func:`_render`).
+    """
+
+    def __init__(self, seed: int = 0, variation_rate: float = 0.0) -> None:
+        if not 0.0 <= variation_rate <= 1.0:
+            raise ValueError(f"variation_rate must be in [0, 1], got {variation_rate}")
+        self._rng = random.Random(seed)
+        self._engine = TableQueryEngine()
+        self.variation_rate = variation_rate
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _numeric_columns(self, table: Table) -> List[str]:
+        out = []
+        for column in table.columns:
+            numbers = [n for n in table.column_numbers(column) if n is not None]
+            if len(numbers) >= max(2, table.num_rows // 2):
+                out.append(column)
+        return out
+
+    def _categorical_columns(self, table: Table) -> List[str]:
+        numeric = set(self._numeric_columns(table))
+        return [
+            column
+            for column in table.columns
+            if column not in numeric and column != table.key_column
+        ]
+
+    def _subject_of(self, table: Table, row_index: int) -> Optional[str]:
+        if table.key_column is None:
+            return None
+        return table.rows[row_index][table.columns.index(table.key_column)]
+
+    def _perturb_number(self, value: float) -> float:
+        """A clearly-different number of the same magnitude."""
+        factor = self._rng.uniform(1.1, 1.5)
+        if self._rng.random() < 0.5:
+            factor = 1.0 / factor
+        perturbed = value * factor
+        if float(value).is_integer():
+            perturbed = float(int(round(perturbed)))
+            if perturbed == value:
+                perturbed = value + self._rng.choice([-2.0, -1.0, 1.0, 2.0])
+        return perturbed
+
+    # ------------------------------------------------------------------
+    # per-op generation; each returns (spec, label) or None
+    # ------------------------------------------------------------------
+    def _make_lookup(self, table: Table, positive: bool) -> Optional[Tuple[ClaimSpec, bool]]:
+        if table.num_rows == 0 or table.num_columns < 2 or table.key_column is None:
+            return None
+        row_index = self._rng.randrange(table.num_rows)
+        subject = self._subject_of(table, row_index)
+        candidates = [c for c in table.columns if c != table.key_column]
+        column = self._rng.choice(candidates)
+        actual = table.rows[row_index][table.columns.index(column)]
+        if not subject or not actual:
+            return None
+        if positive:
+            return ClaimSpec(
+                op=ClaimOp.LOOKUP, column=column, subject=subject, value=actual
+            ), True
+        # corrupt: a different value from the same column, or perturbed number
+        others = [
+            value
+            for value in table.column_values(column)
+            if not self._engine.values_match(value, actual)
+        ]
+        number = parse_number(actual)
+        if number is not None:
+            wrong = format_number(round(self._perturb_number(number), 2))
+        elif others:
+            wrong = self._rng.choice(sorted(set(others)))
+        else:
+            return None
+        return ClaimSpec(
+            op=ClaimOp.LOOKUP, column=column, subject=subject, value=wrong
+        ), False
+
+    def _make_compare(self, table: Table, positive: bool) -> Optional[Tuple[ClaimSpec, bool]]:
+        numeric = self._numeric_columns(table)
+        if not numeric or table.num_rows < 2 or table.key_column is None:
+            return None
+        column = self._rng.choice(numeric)
+        indexes = self._rng.sample(range(table.num_rows), 2)
+        row_a, row_b = (table.row(i) for i in indexes)
+        value_a, value_b = row_a.numeric(column), row_b.numeric(column)
+        subject_a = self._subject_of(table, indexes[0])
+        subject_b = self._subject_of(table, indexes[1])
+        if value_a is None or value_b is None or value_a == value_b:
+            return None
+        if not subject_a or not subject_b:
+            return None
+        truth = Comparison.HIGHER if value_a > value_b else Comparison.LOWER
+        direction = truth
+        if not positive:
+            direction = (
+                Comparison.LOWER if truth is Comparison.HIGHER else Comparison.HIGHER
+            )
+        return ClaimSpec(
+            op=ClaimOp.COMPARE,
+            column=column,
+            subject=subject_a,
+            subject_b=subject_b,
+            comparison=direction,
+        ), positive
+
+    def _make_aggregate(self, table: Table, positive: bool) -> Optional[Tuple[ClaimSpec, bool]]:
+        numeric = self._numeric_columns(table)
+        if not numeric:
+            return None
+        column = self._rng.choice(numeric)
+        numbers = [n for n in table.column_numbers(column) if n is not None]
+        aggregate = self._rng.choice(list(Aggregate))
+        if aggregate is Aggregate.SUM:
+            actual = sum(numbers)
+        elif aggregate is Aggregate.AVG:
+            actual = sum(numbers) / len(numbers)
+        elif aggregate is Aggregate.MIN:
+            actual = min(numbers)
+        else:
+            actual = max(numbers)
+        value = actual if positive else self._perturb_number(actual)
+        if not positive and abs(value - actual) <= 5e-3 * max(abs(actual), 1.0):
+            return None
+        rendered = format_number(round(value, 2))
+        return ClaimSpec(
+            op=ClaimOp.AGGREGATE, column=column, aggregate=aggregate, value=rendered
+        ), positive
+
+    def _make_superlative(self, table: Table, positive: bool) -> Optional[Tuple[ClaimSpec, bool]]:
+        numeric = self._numeric_columns(table)
+        if not numeric or table.num_rows < 2 or table.key_column is None:
+            return None
+        column = self._rng.choice(numeric)
+        pairs = [
+            (row.numeric(column), i)
+            for i, row in enumerate(table.iter_rows())
+        ]
+        pairs = [(v, i) for v, i in pairs if v is not None]
+        if len(pairs) < 2:
+            return None
+        direction = self._rng.choice([Comparison.HIGHER, Comparison.LOWER])
+        ordered = sorted(pairs, reverse=(direction is Comparison.HIGHER))
+        extreme_value, extreme_index = ordered[0]
+        # ambiguous superlative (ties) — skip
+        if ordered[1][0] == extreme_value:
+            return None
+        if positive:
+            subject = self._subject_of(table, extreme_index)
+        else:
+            non_extreme = [i for v, i in ordered[1:] if v != extreme_value]
+            subject = self._subject_of(table, self._rng.choice(non_extreme))
+        if not subject:
+            return None
+        return ClaimSpec(
+            op=ClaimOp.SUPERLATIVE, column=column, subject=subject, comparison=direction
+        ), positive
+
+    def _make_count(self, table: Table, positive: bool) -> Optional[Tuple[ClaimSpec, bool]]:
+        categorical = self._categorical_columns(table)
+        if not categorical:
+            return None
+        column = self._rng.choice(categorical)
+        values = table.column_values(column)
+        if not values:
+            return None
+        value = self._rng.choice(sorted(set(values)))
+        actual = sum(1 for v in values if self._engine.values_match(v, value))
+        count = actual
+        if not positive:
+            offset = self._rng.choice([-2, -1, 1, 2])
+            count = max(0, actual + offset)
+            if count == actual:
+                count = actual + 1
+        return ClaimSpec(
+            op=ClaimOp.COUNT, column=column, value=value, count=count
+        ), positive
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate_for_table(
+        self,
+        table: Table,
+        num_claims: int,
+        id_prefix: str = "claim",
+    ) -> List[GeneratedClaim]:
+        """Generate up to ``num_claims`` labelled claims grounded in ``table``.
+
+        Positive/negative labels alternate; every emitted claim is checked
+        against the engine so gold labels are guaranteed consistent.
+        """
+        makers = [
+            self._make_lookup,
+            self._make_compare,
+            self._make_aggregate,
+            self._make_superlative,
+            self._make_count,
+        ]
+        out: List[GeneratedClaim] = []
+        attempts = 0
+        max_attempts = num_claims * 12
+        while len(out) < num_claims and attempts < max_attempts:
+            attempts += 1
+            positive = len(out) % 2 == 0
+            maker = self._rng.choice(makers)
+            produced = maker(table, positive)
+            if produced is None:
+                continue
+            spec, label = produced
+            # sanity: executing the spec against its own table must agree
+            result = self._engine.execute(spec, table)
+            if result.verdict is None or result.verdict != label:
+                continue
+            variant = self._rng.random() < self.variation_rate
+            text = _render(spec, table.caption, variant=variant)
+            claim = Claim(
+                claim_id=f"{id_prefix}-{table.table_id}-{len(out)}",
+                text=text,
+                context=table.caption,
+                spec=spec,
+            )
+            out.append(GeneratedClaim(claim=claim, label=label, table_id=table.table_id))
+        return out
+
+    def generate(
+        self,
+        tables: Sequence[Table],
+        claims_per_table: int = 2,
+        id_prefix: str = "claim",
+    ) -> List[GeneratedClaim]:
+        """Generate claims across many tables."""
+        out: List[GeneratedClaim] = []
+        for table in tables:
+            out.extend(
+                self.generate_for_table(table, claims_per_table, id_prefix=id_prefix)
+            )
+        return out

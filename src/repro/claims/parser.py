@@ -1,0 +1,210 @@
+"""Natural-language claim parsing.
+
+The parser maps a claim sentence onto one of the five structured
+operation classes (:class:`~repro.claims.model.ClaimOp`).  It is the
+"table-operations aware" front half of the PASTA-style verifier: PASTA is
+pre-trained on sentence-table cloze tasks for exactly these operation
+families, which we model as template grammars.
+
+Parsing is intentionally surface-form-driven (as a pre-trained model's
+competence is): claims phrased inside the grammar parse reliably; claims
+outside it return None, and the verifier falls back to lexical matching.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.claims.model import Aggregate, ClaimOp, ClaimSpec, Comparison
+from repro.text import normalize
+
+# The broad grammar: canonical surface forms plus the synonym variants a
+# general-purpose model handles.  The strict grammar (what a model
+# pre-trained on canonical templates handles) omits the starred variants.
+_AGGREGATE_WORDS = {
+    "total": Aggregate.SUM,
+    "combined": Aggregate.SUM,   # variant
+    "average": Aggregate.AVG,
+    "mean": Aggregate.AVG,       # variant
+    "minimum": Aggregate.MIN,
+    "maximum": Aggregate.MAX,
+}
+_STRICT_AGGREGATE_WORDS = {
+    "total": Aggregate.SUM,
+    "average": Aggregate.AVG,
+    "minimum": Aggregate.MIN,
+    "maximum": Aggregate.MAX,
+}
+
+_COMPARISON_WORDS = {
+    "higher": Comparison.HIGHER,
+    "larger": Comparison.HIGHER,   # variant
+    "greater": Comparison.HIGHER,  # variant
+    "lower": Comparison.LOWER,
+    "smaller": Comparison.LOWER,   # variant
+    "fewer": Comparison.LOWER,     # variant
+}
+_STRICT_COMPARISON_WORDS = {
+    "higher": Comparison.HIGHER,
+    "lower": Comparison.LOWER,
+}
+
+_SUPERLATIVE_WORDS = {
+    "highest": Comparison.HIGHER,
+    "largest": Comparison.HIGHER,  # variant
+    "most": Comparison.HIGHER,     # variant
+    "lowest": Comparison.LOWER,
+    "smallest": Comparison.LOWER,  # variant
+    "fewest": Comparison.LOWER,    # variant
+}
+_STRICT_SUPERLATIVE_WORDS = {
+    "highest": Comparison.HIGHER,
+    "lowest": Comparison.LOWER,
+}
+
+
+def _build_patterns(strict: bool):
+    agg_words = _STRICT_AGGREGATE_WORDS if strict else _AGGREGATE_WORDS
+    cmp_words = _STRICT_COMPARISON_WORDS if strict else _COMPARISON_WORDS
+    sup_words = _STRICT_SUPERLATIVE_WORDS if strict else _SUPERLATIVE_WORDS
+    agg_alt = "|".join(agg_words)
+    cmp_alt = "|".join(cmp_words)
+    sup_alt = "|".join(sup_words)
+    verb = "has" if strict else "(?:has|had|recorded)"
+    count_head = (
+        r"there are " if strict else r"(?:there are |exactly )?"
+    )
+    patterns = [
+        (
+            "aggregate",
+            re.compile(
+                rf"^the (?P<agg>{agg_alt}) (?!of\b)(?P<column>.+?) "
+                rf"(?:in|of|across) (?:the )?(?P<scope>.+?) is (?P<value>.+)$"
+            ),
+        ),
+        (
+            "aggregate",
+            re.compile(
+                rf"^the (?P<agg>{agg_alt}) (?!of\b)(?P<column>.+?) is (?P<value>.+)$"
+            ),
+        ),
+        (
+            "compare",
+            re.compile(
+                rf"^(?P<a>.+?) {verb} (?:a |an )?(?P<dir>{cmp_alt}) "
+                rf"(?P<column>.+?) than (?P<b>.+)$"
+            ),
+        ),
+        (
+            "superlative",
+            re.compile(
+                rf"^(?P<subject>.+?) {verb} the (?P<dir>{sup_alt}) "
+                rf"(?P<column>[^,]+?)(?: (?:in|of) (?:the )?(?P<scope>.+))?$"
+            ),
+        ),
+        (
+            "count",
+            re.compile(
+                rf"^{count_head}(?P<count>\d+) (?:rows|entries|records) "
+                r"(?:with|have|having) (?:a |an )?(?P<column>.+?) of "
+                r"(?P<value>.+?)(?: in (?:the )?(?P<scope>.+))?$"
+            ),
+        ),
+        (
+            "lookup",
+            re.compile(
+                r"^the (?P<column>.+?) of (?P<subject>.+?) (?:is|was) (?P<value>.+)$"
+            ),
+        ),
+        (
+            "lookup_has",
+            re.compile(
+                rf"^(?P<subject>.+?) {verb} (?:a |an )?(?P<column>.+?) "
+                r"of (?P<value>.+)$"
+            ),
+        ),
+    ]
+    if not strict:
+        patterns.append(
+            (
+                "lookup_reversed",
+                re.compile(
+                    r"^(?P<value>.+?) (?:is|was) the (?P<column>.+?) "
+                    r"of (?P<subject>.+)$"
+                ),
+            )
+        )
+    return patterns, agg_words, cmp_words, sup_words
+
+
+_BROAD = _build_patterns(strict=False)
+_STRICT = _build_patterns(strict=True)
+
+
+class ClaimParser:
+    """Template-grammar claim parser.
+
+    ``strict=True`` restricts the grammar to canonical surface forms —
+    this models a local verifier (PASTA) pre-trained on fixed templates,
+    versus a general model that also handles paraphrases.
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        (
+            self._patterns,
+            self._agg_words,
+            self._cmp_words,
+            self._sup_words,
+        ) = _STRICT if strict else _BROAD
+
+    def parse(self, text: str) -> Optional[ClaimSpec]:
+        """Parse a claim sentence into a :class:`ClaimSpec`, or None.
+
+        >>> ClaimParser().parse("the party of tom jenkins is republican").op
+        <ClaimOp.LOOKUP: 'lookup'>
+        """
+        sentence = normalize(text).rstrip(".")
+        for kind, pattern in self._patterns:
+            match = pattern.match(sentence)
+            if not match:
+                continue
+            groups = match.groupdict()
+            if kind == "aggregate":
+                return ClaimSpec(
+                    op=ClaimOp.AGGREGATE,
+                    column=groups["column"],
+                    aggregate=self._agg_words[groups["agg"]],
+                    value=groups["value"],
+                )
+            if kind == "compare":
+                return ClaimSpec(
+                    op=ClaimOp.COMPARE,
+                    column=groups["column"],
+                    subject=groups["a"],
+                    subject_b=groups["b"],
+                    comparison=self._cmp_words[groups["dir"]],
+                )
+            if kind == "superlative":
+                return ClaimSpec(
+                    op=ClaimOp.SUPERLATIVE,
+                    column=groups["column"],
+                    subject=groups["subject"],
+                    comparison=self._sup_words[groups["dir"]],
+                )
+            if kind == "count":
+                return ClaimSpec(
+                    op=ClaimOp.COUNT,
+                    column=groups["column"],
+                    value=groups["value"],
+                    count=int(groups["count"]),
+                )
+            # the three lookup variants
+            return ClaimSpec(
+                op=ClaimOp.LOOKUP,
+                column=groups["column"],
+                subject=groups["subject"],
+                value=groups["value"],
+            )
+        return None

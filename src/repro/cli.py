@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro build-lake  --tables 300 --seed 0 --out lake.json
+    repro stats       --lake lake.json
+    repro verify-claim --lake lake.json --text "..." [--context "..."]
+    repro verify-tuple --lake lake.json --table-id T --row 0 \
+                       --column votes --value "123,456"
+    repro discover    --lake lake.json --query "..." [--modality text]
+    repro experiment  --name table1 [--scale small]
+
+Installed as ``python -m repro.cli`` (no console-script entry point to
+keep the package dependency-free).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import VerifAIConfig
+from repro.core.pipeline import VerifAI
+from repro.datalake.persistence import load_lake, save_lake
+from repro.datalake.types import Modality
+from repro.verify.objects import ClaimObject, TupleObject
+from repro.workloads.builder import LakeConfig, build_lake
+
+
+def _cmd_build_lake(args: argparse.Namespace) -> int:
+    bundle = build_lake(LakeConfig(num_tables=args.tables, seed=args.seed))
+    save_lake(bundle.lake, args.out)
+    stats = bundle.lake.stats()
+    print(
+        f"wrote {args.out}: {stats.num_tables} tables, "
+        f"{stats.num_tuples} tuples, {stats.num_text_files} text files"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    lake = load_lake(args.lake)
+    stats = lake.stats()
+    print(f"lake:        {lake.name}")
+    print(f"tables:      {stats.num_tables}")
+    print(f"tuples:      {stats.num_tuples}")
+    print(f"text files:  {stats.num_text_files}")
+    print(f"kg entities: {stats.num_kg_entities}")
+    print(f"sources:     {stats.num_sources}")
+    return 0
+
+
+def _system_for(args: argparse.Namespace) -> VerifAI:
+    lake = load_lake(args.lake)
+    return VerifAI(lake, config=VerifAIConfig()).build_indexes()
+
+
+def _cmd_verify_claim(args: argparse.Namespace) -> int:
+    system = _system_for(args)
+    obj = ClaimObject("cli-claim", args.text, context=args.context or "")
+    report = system.verify(obj)
+    print(report.summary())
+    if args.explain:
+        print(system.explain(report))
+    return 0 if report.final_verdict.name != "REFUTED" else 1
+
+
+def _cmd_verify_tuple(args: argparse.Namespace) -> int:
+    system = _system_for(args)
+    table = system.lake.table(args.table_id)
+    row = table.row(args.row).replace_value(args.column, args.value)
+    obj = TupleObject("cli-tuple", row, attribute=args.column)
+    report = system.verify(obj)
+    print(report.summary())
+    if args.explain:
+        print(system.explain(report))
+    return 0 if report.final_verdict.name != "REFUTED" else 1
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    from repro.discovery.crossmodal import CrossModalIndex
+
+    lake = load_lake(args.lake)
+    index = CrossModalIndex(lake).build()
+    modalities = None
+    if args.modality:
+        modalities = [Modality(args.modality)]
+    for hit in index.search(args.query, k=args.k, modalities=modalities):
+        print(f"{hit.score:6.3f}  [{hit.modality.value:9s}] {hit.instance_id}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import get_context
+    from repro.experiments.report import render_experiment
+
+    context = get_context(args.scale)
+    print(render_experiment(args.name, context))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="VerifAI: verified generative AI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build-lake", help="generate a synthetic lake")
+    p.add_argument("--tables", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_build_lake)
+
+    p = sub.add_parser("stats", help="print lake statistics")
+    p.add_argument("--lake", required=True)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("verify-claim", help="verify a textual claim")
+    p.add_argument("--lake", required=True)
+    p.add_argument("--text", required=True)
+    p.add_argument("--context", default="")
+    p.add_argument("--explain", action="store_true")
+    p.set_defaults(func=_cmd_verify_claim)
+
+    p = sub.add_parser("verify-tuple", help="verify one imputed cell")
+    p.add_argument("--lake", required=True)
+    p.add_argument("--table-id", required=True)
+    p.add_argument("--row", type=int, required=True)
+    p.add_argument("--column", required=True)
+    p.add_argument("--value", required=True)
+    p.add_argument("--explain", action="store_true")
+    p.set_defaults(func=_cmd_verify_tuple)
+
+    p = sub.add_parser("discover", help="cross-modal discovery query")
+    p.add_argument("--lake", required=True)
+    p.add_argument("--query", required=True)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument(
+        "--modality", choices=[m.value for m in Modality], default=None
+    )
+    p.set_defaults(func=_cmd_discover)
+
+    p = sub.add_parser("experiment", help="run one paper experiment")
+    p.add_argument(
+        "--name", required=True,
+        choices=["headline", "table1", "table2", "figures", "ablations"],
+    )
+    p.add_argument("--scale", default="small")
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

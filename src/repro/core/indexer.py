@@ -1,0 +1,185 @@
+"""The Indexer module: task-agnostic retrieval over the lake.
+
+Per modality (tuples, tables, text files, KG entities) it maintains a
+content-based BM25 index and, optionally, a semantic vector index; the
+Combiner fuses their rankings.  All indexes speak instance ids, which
+the lake resolves back to data instances.
+
+Text documents may be indexed as sentence-aligned chunks
+(``config.chunk_text``): retrieval then scores passages — long pages no
+longer drown a single relevant sentence in length normalization — and
+chunk hits are folded back to their parent documents.
+
+The module supports incremental updates: instances added to the lake
+after :meth:`build` can be folded in with :meth:`add_instance` without
+rebuilding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.datalake.lake import DataLake
+from repro.datalake.serialize import serialize_instance
+from repro.datalake.types import DataInstance, Modality, Table, TextDocument
+from repro.embed.chunker import chunk_document
+from repro.embed.vectorizers import HashingVectorizer
+from repro.index.base import SearchHit
+from repro.index.combiner import Combiner, FusionMethod
+from repro.index.inverted import InvertedIndex
+from repro.index.vector import FlatVectorIndex
+from repro.core.config import VerifAIConfig
+
+_INDEXED_MODALITIES = (
+    Modality.TUPLE,
+    Modality.TABLE,
+    Modality.TEXT,
+    Modality.KG_ENTITY,
+)
+
+
+def _fold_chunks_to_documents(hits: List[SearchHit], k: int) -> List[SearchHit]:
+    """Collapse chunk hits (``doc#cN``) onto their parent documents,
+    keeping each document's best chunk score and the original order."""
+    best: Dict[str, SearchHit] = {}
+    order: List[str] = []
+    for hit in hits:
+        doc_id = hit.instance_id.split("#c", 1)[0]
+        if doc_id not in best:
+            best[doc_id] = SearchHit(hit.score, doc_id, hit.index_name)
+            order.append(doc_id)
+        elif hit.score > best[doc_id].score:
+            best[doc_id] = SearchHit(hit.score, doc_id, hit.index_name)
+    return [best[doc_id] for doc_id in order][:k]
+
+
+class IndexerModule:
+    """Per-modality content + semantic indexes with a Combiner on top."""
+
+    def __init__(self, lake: DataLake, config: Optional[VerifAIConfig] = None) -> None:
+        self.lake = lake
+        self.config = config or VerifAIConfig()
+        self._content: Dict[Modality, InvertedIndex] = {}
+        self._semantic: Dict[Modality, FlatVectorIndex] = {}
+        self._combiners: Dict[Modality, Combiner] = {}
+        self._vectorizer = HashingVectorizer(dim=self.config.embedding_dim)
+        self._built = False
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _payload_entries(self, instance: DataInstance):
+        """(index id, payload) entries for one instance — one per chunk
+        for text documents when chunking is on."""
+        if (
+            self.config.chunk_text
+            and isinstance(instance, TextDocument)
+        ):
+            chunks = chunk_document(
+                instance, max_tokens=self.config.chunk_max_tokens
+            )
+            if chunks:
+                return [(chunk.chunk_id, chunk.text) for chunk in chunks]
+        return [(instance.instance_id, serialize_instance(instance))]
+
+    def _add_to_indexes(self, modality: Modality, instance: DataInstance) -> None:
+        content = self._content[modality]
+        semantic = self._semantic.get(modality)
+        for index_id, payload in self._payload_entries(instance):
+            content.add(index_id, payload)
+            if semantic is not None:
+                semantic.add(index_id, payload)
+
+    def _iter_modality(self, modality: Modality):
+        if modality is Modality.KG_ENTITY:
+            return self.lake.kg.entities()
+        return self.lake.iter_instances(modality)
+
+    def build(self) -> "IndexerModule":
+        """Index every instance of every modality (idempotent)."""
+        if self._built:
+            return self
+        for modality in _INDEXED_MODALITIES:
+            content = InvertedIndex(name=f"bm25-{modality.value}")
+            self._content[modality] = content
+            if self.config.use_semantic_index:
+                self._semantic[modality] = FlatVectorIndex(
+                    dim=self.config.embedding_dim,
+                    encoder=self._vectorizer.transform,
+                    name=f"vec-{modality.value}",
+                )
+            if modality is Modality.KG_ENTITY:
+                for entity in self.lake.kg.entities():
+                    content.add(entity.instance_id, entity.serialize())
+                    semantic = self._semantic.get(modality)
+                    if semantic is not None:
+                        semantic.add(entity.instance_id, entity.serialize())
+            else:
+                for instance in self.lake.iter_instances(modality):
+                    self._add_to_indexes(modality, instance)
+            indexes = [content]
+            if modality in self._semantic:
+                indexes.append(self._semantic[modality])
+            self._combiners[modality] = Combiner(
+                indexes,
+                method=self.config.fusion,
+                name=f"combined-{modality.value}",
+            )
+        self._built = True
+        return self
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def add_instance(self, instance: DataInstance) -> None:
+        """Fold a newly added lake instance into the live indexes.
+
+        Tables also index each of their tuples (matching :meth:`build`'s
+        coverage).  The instance must already be registered in the lake.
+        """
+        if not self._built:
+            self.build()
+            return
+        if isinstance(instance, Table):
+            self._add_to_indexes(Modality.TABLE, instance)
+            for row in instance.iter_rows():
+                self._add_to_indexes(Modality.TUPLE, row)
+        elif isinstance(instance, TextDocument):
+            self._add_to_indexes(Modality.TEXT, instance)
+        else:
+            self._add_to_indexes(Modality.TUPLE, instance)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(
+        self, query: str, modality: Modality, k: Optional[int] = None
+    ) -> List[SearchHit]:
+        """Coarse top-k for one modality (content + semantic fused)."""
+        if not self._built:
+            self.build()
+        depth = k if k is not None else self.config.k_coarse
+        if modality is Modality.TEXT and self.config.chunk_text:
+            raw = self._combiners[modality].search(query, depth * 3)
+            return _fold_chunks_to_documents(raw, depth)
+        return self._combiners[modality].search(query, depth)
+
+    def content_index(self, modality: Modality) -> InvertedIndex:
+        """Direct access to one modality's BM25 index (for ablations)."""
+        if not self._built:
+            self.build()
+        return self._content[modality]
+
+    def semantic_index(self, modality: Modality) -> Optional[FlatVectorIndex]:
+        """Direct access to one modality's vector index, if enabled."""
+        if not self._built:
+            self.build()
+        return self._semantic.get(modality)
+
+    def fetch_payload(self, instance_id: str) -> str:
+        """Serialized payload of any indexed instance."""
+        return serialize_instance(self.lake.instance(instance_id))

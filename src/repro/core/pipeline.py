@@ -1,0 +1,221 @@
+"""The end-to-end VerifAI pipeline.
+
+``VerifAI.verify(obj)`` runs Indexer -> Combiner -> Reranker -> Verifier
+over the lake and returns a :class:`VerificationReport`: per-evidence
+ternary verdicts, a pooled final verdict, and the provenance record id
+for replay/debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import VerifAIConfig
+from repro.core.indexer import IndexerModule
+from repro.core.reranker import RerankerModule
+from repro.core.verifier import VerifierModule
+from repro.datalake.lake import DataLake
+from repro.datalake.types import DataInstance, Modality
+from repro.index.base import SearchHit
+from repro.llm.model import SimulatedLLM
+from repro.provenance.generation import GenerationLog
+from repro.provenance.store import ProvenanceStore
+from repro.verify.agent import VerifierAgent
+from repro.verify.base import VerificationOutcome, Verifier
+from repro.verify.llm_verifier import LLMVerifier
+from repro.verify.objects import ClaimObject, DataObject, TupleObject
+from repro.verify.verdict import Verdict
+
+#: default evidence modalities per object type (the paper's Section 4
+#: pairings: tuples are checked against tuples + text files, textual
+#: claims against tables)
+DEFAULT_MODALITIES = {
+    TupleObject: (Modality.TUPLE, Modality.TEXT),
+    ClaimObject: (Modality.TABLE,),
+}
+
+
+@dataclass
+class VerificationReport:
+    """Everything VerifAI concluded about one data object."""
+
+    object_id: str
+    final_verdict: Verdict
+    margin: float
+    outcomes: List[VerificationOutcome] = field(default_factory=list)
+    evidence_ids: List[str] = field(default_factory=list)
+    record_id: str = ""
+
+    @property
+    def supporting(self) -> List[VerificationOutcome]:
+        return [o for o in self.outcomes if o.verdict is Verdict.VERIFIED]
+
+    @property
+    def refuting(self) -> List[VerificationOutcome]:
+        return [o for o in self.outcomes if o.verdict is Verdict.REFUTED]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.object_id}: {self.final_verdict} "
+            f"(margin {self.margin:.2f}; {len(self.supporting)} supporting, "
+            f"{len(self.refuting)} refuting, "
+            f"{len(self.outcomes) - len(self.supporting) - len(self.refuting)} "
+            f"unrelated)"
+        )
+
+
+class VerifAI:
+    """Verified generative AI over a multi-modal data lake."""
+
+    def __init__(
+        self,
+        lake: DataLake,
+        llm: Optional[SimulatedLLM] = None,
+        config: Optional[VerifAIConfig] = None,
+        local_verifiers: Sequence[Verifier] = (),
+        source_trust: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.lake = lake
+        self.config = config or VerifAIConfig()
+        # the verifier LLM needs no parametric knowledge: it reasons over
+        # the evidence in the prompt
+        self.llm = llm or SimulatedLLM(knowledge=None)
+        self.indexer = IndexerModule(lake, self.config)
+        self.reranker = RerankerModule()
+        agent = VerifierAgent(
+            local_verifiers=local_verifiers,
+            fallback=LLMVerifier(self.llm),
+            prefer_local=self.config.prefer_local,
+        )
+        self.verifier = VerifierModule(agent, lake, source_trust)
+        self.provenance = ProvenanceStore()
+        self.generation_log = GenerationLog()
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+    def build_indexes(self) -> "VerifAI":
+        """Build all lake indexes up front (otherwise lazy on first use)."""
+        self.indexer.build()
+        return self
+
+    def retrieve(
+        self,
+        obj: DataObject,
+        modality: Modality,
+        k_coarse: Optional[int] = None,
+        k_fine: Optional[int] = None,
+        record=None,
+    ) -> List[SearchHit]:
+        """Coarse retrieval + optional task-specific reranking."""
+        query = obj.query_text()
+        fine = k_fine if k_fine is not None else self.config.fine_k(modality)
+        if self.config.use_reranker:
+            coarse = self.indexer.search(query, modality, k_coarse)
+            if record is not None:
+                record.add_stage(f"coarse:{modality.value}", coarse)
+            shortlist = self.reranker.rerank(
+                obj, modality, coarse, self.indexer.fetch_payload, fine
+            )
+            if record is not None:
+                record.add_stage(f"rerank:{modality.value}", shortlist)
+            return shortlist
+        hits = self.indexer.search(query, modality, fine)
+        if record is not None:
+            record.add_stage(f"coarse:{modality.value}", hits)
+        return hits
+
+    def resolve(self, hits: Sequence[SearchHit]) -> List[DataInstance]:
+        """Instance ids back to lake instances."""
+        return [self.lake.instance(hit.instance_id) for hit in hits]
+
+    # ------------------------------------------------------------------
+    # end-to-end
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        obj: DataObject,
+        modalities: Optional[Sequence[Modality]] = None,
+        k_coarse: Optional[int] = None,
+        k_fine: Optional[int] = None,
+    ) -> VerificationReport:
+        """Discover evidence for ``obj`` across modalities and verify it."""
+        if modalities is None:
+            modalities = DEFAULT_MODALITIES.get(type(obj), (Modality.TABLE,))
+        record = self.provenance.new_record(obj.object_id, obj.query_text())
+        evidence: List[DataInstance] = []
+        for modality in modalities:
+            hits = self.retrieve(obj, modality, k_coarse, k_fine, record=record)
+            evidence.extend(self.resolve(hits))
+        outcomes, final, margin = self.verifier.verify_pool(obj, evidence)
+        for instance, outcome in zip(evidence, outcomes):
+            record.add_outcome(
+                outcome.evidence_id, outcome.verifier, outcome.verdict,
+                outcome.explanation,
+            )
+        record.final_verdict = int(final)
+        record.final_margin = margin
+        self.generation_log.link_verification(obj.object_id, record.record_id)
+        return VerificationReport(
+            object_id=obj.object_id,
+            final_verdict=final,
+            margin=margin,
+            outcomes=outcomes,
+            evidence_ids=[o.evidence_id for o in outcomes],
+            record_id=record.record_id,
+        )
+
+    def verify_batch(
+        self,
+        objects: Sequence[DataObject],
+        modalities: Optional[Sequence[Modality]] = None,
+    ) -> "BatchReport":
+        """Verify many objects and summarize the campaign."""
+        reports = [self.verify(obj, modalities=modalities) for obj in objects]
+        return BatchReport(reports=reports)
+
+    def add_instance(self, instance) -> None:
+        """Fold a newly ingested lake instance into the live indexes
+        (incremental indexing; the instance must already be in the lake)."""
+        self.indexer.add_instance(instance)
+
+    def explain(self, report: VerificationReport) -> str:
+        """Replay the full lineage of a verification (challenge C4)."""
+        return self.provenance.explain(report.record_id)
+
+
+@dataclass
+class BatchReport:
+    """Aggregate view of a verification campaign."""
+
+    reports: List[VerificationReport]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def count(self, verdict: Verdict) -> int:
+        return sum(1 for r in self.reports if r.final_verdict is verdict)
+
+    @property
+    def verified(self) -> int:
+        return self.count(Verdict.VERIFIED)
+
+    @property
+    def refuted(self) -> int:
+        return self.count(Verdict.REFUTED)
+
+    @property
+    def unresolved(self) -> int:
+        return self.count(Verdict.NOT_RELATED)
+
+    def summary(self) -> str:
+        """One-line campaign summary."""
+        return (
+            f"{len(self.reports)} objects: {self.verified} verified, "
+            f"{self.refuted} refuted, {self.unresolved} unresolved"
+        )

@@ -1,0 +1,95 @@
+"""The Verifier module: Agent dispatch plus evidence pooling.
+
+Multiple retrieved instances may verify or refute the same object
+(Section 3.3's remark); the module pools per-evidence verdicts into a
+final decision with a trust-weighted vote, where each vote carries the
+trust of the lake source that supplied the evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.datalake.lake import DataLake
+from repro.datalake.types import DataInstance, Row
+from repro.trust.model import weighted_vote
+from repro.verify.agent import VerifierAgent
+from repro.verify.base import VerificationOutcome
+from repro.verify.objects import DataObject
+from repro.verify.verdict import Verdict
+
+
+def _pair_key(obj: DataObject, evidence: DataInstance) -> tuple:
+    """Cache key: the pair's *content*, not object identity."""
+    attribute = getattr(obj, "attribute", None)
+    context = getattr(obj, "context", None)
+    return (
+        type(obj).__name__,
+        obj.query_text(),
+        attribute,
+        context,
+        evidence.instance_id,
+    )
+
+
+class VerifierModule:
+    """Verify an object against a pool of evidence and decide.
+
+    Verification is deterministic per (object content, evidence), so
+    repeated pairs — common when benchmarks sweep configurations — are
+    served from an in-process cache (``cache=False`` disables it).
+    """
+
+    def __init__(
+        self,
+        agent: VerifierAgent,
+        lake: DataLake,
+        source_trust: Optional[Mapping[str, float]] = None,
+        cache: bool = True,
+    ) -> None:
+        self.agent = agent
+        self.lake = lake
+        self.source_trust: Dict[str, float] = dict(source_trust or {})
+        self._cache: Optional[Dict[tuple, VerificationOutcome]] = (
+            {} if cache else None
+        )
+        self.cache_hits = 0
+
+    def verify_one(
+        self, obj: DataObject, evidence: DataInstance
+    ) -> VerificationOutcome:
+        """Verify a single pair through the Agent, with caching."""
+        if self._cache is None:
+            return self.agent.verify(obj, evidence)
+        key = _pair_key(obj, evidence)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        outcome = self.agent.verify(obj, evidence)
+        self._cache[key] = outcome
+        return outcome
+
+    def source_of(self, evidence: DataInstance) -> str:
+        """Lake source name of an evidence instance."""
+        if isinstance(evidence, Row):
+            return self.lake.table(evidence.table_id).source.name
+        source = getattr(evidence, "source", None)
+        if source is None:  # KG entities have no per-instance source
+            return "knowledge-graph"
+        return source.name
+
+    def verify_pool(
+        self, obj: DataObject, evidence_list: Sequence[DataInstance]
+    ) -> Tuple[List[VerificationOutcome], Verdict, float]:
+        """Verify against every instance and pool into a final verdict.
+
+        Returns (per-evidence outcomes, final verdict, vote margin).
+        """
+        outcomes = [self.verify_one(obj, evidence) for evidence in evidence_list]
+        votes = [
+            (self.source_of(evidence), outcome.verdict)
+            for evidence, outcome in zip(evidence_list, outcomes)
+        ]
+        final, margin = weighted_vote(votes, self.source_trust, default_trust=1.0)
+        return outcomes, final, margin

@@ -1,0 +1,106 @@
+"""Knowledge-graph modality (Section 5 prototype).
+
+The paper lists knowledge graphs among the modalities a multi-modal lake
+should eventually support and sketches (text, KG entity) verification as
+an open problem.  This module provides a minimal triple store whose
+entities serialize into the same indexing path as tuples and text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class KGTriple:
+    """A (subject, predicate, object) fact."""
+
+    subject: str
+    predicate: str
+    obj: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.subject}, {self.predicate}, {self.obj})"
+
+
+@dataclass
+class KGEntity:
+    """An entity with its outgoing triples, serializable for indexing."""
+
+    name: str
+    triples: List[KGTriple] = field(default_factory=list)
+
+    @property
+    def instance_id(self) -> str:
+        return f"kg:{self.name.lower().replace(' ', '_')}"
+
+    def serialize(self) -> str:
+        """Render the entity as a pseudo-document for the content index."""
+        lines = [self.name]
+        lines.extend(f"{t.predicate}: {t.obj}" for t in self.triples)
+        return "\n".join(lines)
+
+
+class KnowledgeGraph:
+    """A tiny in-memory triple store with entity-centric access."""
+
+    def __init__(self) -> None:
+        self._triples: List[KGTriple] = []
+        self._by_subject: Dict[str, List[KGTriple]] = {}
+        self._triple_set: Set[Tuple[str, str, str]] = set()
+        self._slug_to_subject: Dict[str, str] = {}
+
+    def add(self, subject: str, predicate: str, obj: str) -> KGTriple:
+        """Add one triple (idempotent); returns the stored triple."""
+        key = (subject.lower(), predicate.lower(), obj.lower())
+        triple = KGTriple(subject, predicate, obj)
+        if key in self._triple_set:
+            return triple
+        self._triple_set.add(key)
+        self._triples.append(triple)
+        self._by_subject.setdefault(subject.lower(), []).append(triple)
+        slug = subject.lower().replace(" ", "_")
+        self._slug_to_subject.setdefault(slug, subject)
+        return triple
+
+    def entity_by_id(self, instance_id: str) -> Optional[KGEntity]:
+        """Resolve a ``kg:<slug>`` instance id back to an entity."""
+        if not instance_id.startswith("kg:"):
+            return None
+        subject = self._slug_to_subject.get(instance_id[3:])
+        if subject is None:
+            return None
+        return self.entity(subject)
+
+    def entity(self, name: str) -> Optional[KGEntity]:
+        """Entity view of ``name``; None when no triples mention it."""
+        triples = self._by_subject.get(name.lower())
+        if not triples:
+            return None
+        return KGEntity(name=name, triples=list(triples))
+
+    def objects(self, subject: str, predicate: str) -> List[str]:
+        """All objects of (subject, predicate, ?)."""
+        return [
+            t.obj
+            for t in self._by_subject.get(subject.lower(), [])
+            if t.predicate.lower() == predicate.lower()
+        ]
+
+    def has(self, subject: str, predicate: str, obj: str) -> bool:
+        """Membership test, case-insensitive."""
+        return (subject.lower(), predicate.lower(), obj.lower()) in self._triple_set
+
+    def entities(self) -> Iterator[KGEntity]:
+        """All entities that appear as subjects."""
+        for subject, triples in self._by_subject.items():
+            yield KGEntity(name=triples[0].subject, triples=list(triples))
+
+    @property
+    def num_entities(self) -> int:
+        return len(self._by_subject)
+
+    @property
+    def num_triples(self) -> int:
+        return len(self._triples)

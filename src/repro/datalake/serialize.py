@@ -1,0 +1,56 @@
+"""Serialization of lake instances to flat strings.
+
+The paper's content-based index "serializes tables or text files as
+strings and then indexes them" — these functions define that
+serialization, shared by the BM25 index, the embedders, and the prompt
+templates so that all components see a consistent rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datalake.kg import KGEntity
+from repro.datalake.types import DataInstance, Row, Table, TextDocument
+
+
+def serialize_row(row: Row, include_table_id: bool = False) -> str:
+    """Render a tuple as ``col1: v1 ; col2: v2 ; ...``.
+
+    >>> from repro.datalake.types import Row
+    >>> serialize_row(Row("t1", 0, ("district", "incumbent"), ("ohio 1", "tom")))
+    'district: ohio 1 ; incumbent: tom'
+    """
+    parts = [f"{col}: {val}" for col, val in zip(row.columns, row.values)]
+    body = " ; ".join(parts)
+    if include_table_id:
+        return f"[{row.table_id}] {body}"
+    return body
+
+
+def serialize_table(table: Table, max_rows: Optional[int] = None) -> str:
+    """Render a whole table: caption, header, then pipe-separated rows."""
+    lines = [table.caption, " | ".join(table.columns)]
+    rows = table.rows if max_rows is None else table.rows[:max_rows]
+    lines.extend(" | ".join(row) for row in rows)
+    return "\n".join(lines)
+
+
+def serialize_text(doc: TextDocument) -> str:
+    """Render a text document: title followed by the body."""
+    if doc.title:
+        return f"{doc.title}\n{doc.text}"
+    return doc.text
+
+
+def serialize_instance(instance: DataInstance) -> str:
+    """Serialize any lake instance for indexing or prompting."""
+    if isinstance(instance, Row):
+        return serialize_row(instance)
+    if isinstance(instance, Table):
+        return serialize_table(instance)
+    if isinstance(instance, TextDocument):
+        return serialize_text(instance)
+    if isinstance(instance, KGEntity):
+        return instance.serialize()
+    raise TypeError(f"not a data instance: {type(instance).__name__}")

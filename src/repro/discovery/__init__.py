@@ -1,0 +1,16 @@
+"""Cross-modal data discovery (Section 5 prototype).
+
+The paper's first open problem: "a promising direction is to explore
+cross-modal representation learning, which involves encoding data from
+different modalities into a homogeneous vector space.  This approach can
+facilitate a unified data discovery process."
+
+:class:`CrossModalIndex` embeds tuples, tables, text files, and KG
+entities into one vector space and answers both free-text discovery
+queries and instance-to-instance neighbourhood queries across
+modalities.
+"""
+
+from repro.discovery.crossmodal import CrossModalHit, CrossModalIndex
+
+__all__ = ["CrossModalHit", "CrossModalIndex"]

@@ -1,0 +1,82 @@
+"""Text chunking for the semantic index.
+
+The paper embeds "chunked text files"; this chunker splits a document
+into sentence-aligned passages with bounded token length and optional
+overlap, each addressable as ``doc_id#cN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.datalake.types import TextDocument
+from repro.text import sentences, tokenize
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A passage of a document."""
+
+    doc_id: str
+    chunk_index: int
+    text: str
+
+    @property
+    def chunk_id(self) -> str:
+        return f"{self.doc_id}#c{self.chunk_index}"
+
+
+def chunk_text(
+    text: str,
+    doc_id: str = "doc",
+    max_tokens: int = 64,
+    overlap_sentences: int = 1,
+) -> List[Chunk]:
+    """Split ``text`` into sentence-aligned chunks of <= ``max_tokens`` tokens.
+
+    Adjacent chunks share ``overlap_sentences`` trailing sentences so that
+    facts straddling a boundary stay retrievable.
+    """
+    if max_tokens <= 0:
+        raise ValueError(f"max_tokens must be positive, got {max_tokens}")
+    if overlap_sentences < 0:
+        raise ValueError(f"overlap_sentences must be >= 0, got {overlap_sentences}")
+
+    sents = sentences(text)
+    if not sents:
+        return []
+
+    chunks: List[Chunk] = []
+    current: List[str] = []
+    current_tokens = 0
+    for sent in sents:
+        sent_tokens = len(tokenize(sent))
+        if current and current_tokens + sent_tokens > max_tokens:
+            chunks.append(Chunk(doc_id, len(chunks), " ".join(current)))
+            keep = current[-overlap_sentences:] if overlap_sentences else []
+            current = list(keep)
+            current_tokens = sum(len(tokenize(s)) for s in current)
+        current.append(sent)
+        current_tokens += sent_tokens
+    if current:
+        chunks.append(Chunk(doc_id, len(chunks), " ".join(current)))
+    return chunks
+
+
+def chunk_document(
+    doc: TextDocument,
+    max_tokens: int = 64,
+    overlap_sentences: int = 1,
+) -> List[Chunk]:
+    """Chunk a lake document, prefixing the title onto the first chunk."""
+    chunks = chunk_text(
+        doc.text,
+        doc_id=doc.doc_id,
+        max_tokens=max_tokens,
+        overlap_sentences=overlap_sentences,
+    )
+    if chunks and doc.title:
+        first = chunks[0]
+        chunks[0] = Chunk(first.doc_id, first.chunk_index, f"{doc.title}. {first.text}")
+    return chunks

@@ -1,0 +1,155 @@
+"""Distributional embeddings from co-occurrence statistics.
+
+This is the "semantic" embedder standing in for BERT: tokens that appear
+in similar contexts receive similar vectors, so documents sharing *related*
+(not merely identical) vocabulary score high under cosine.  The
+construction is classical — windowed co-occurrence counts, PPMI
+reassociation, then a seeded Gaussian random projection to a dense space
+(Johnson-Lindenstrauss preserves the PPMI geometry in expectation).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.text import analyze
+
+
+class CooccurrenceEmbedder:
+    """PPMI co-occurrence embeddings with a random-projection backend."""
+
+    def __init__(
+        self,
+        dim: int = 128,
+        window: int = 4,
+        min_count: int = 2,
+        seed: int = 7,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.dim = dim
+        self.window = window
+        self.min_count = min_count
+        self.seed = seed
+        self._token_vectors: Dict[str, np.ndarray] = {}
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def vocabulary(self) -> List[str]:
+        return sorted(self._token_vectors)
+
+    def fit(self, texts: Iterable[str]) -> "CooccurrenceEmbedder":
+        """Build token vectors from the co-occurrence structure of ``texts``."""
+        token_count: Counter = Counter()
+        pair_count: Dict[str, Counter] = defaultdict(Counter)
+        total_pairs = 0
+        for text in texts:
+            tokens = analyze(text)
+            token_count.update(tokens)
+            for i, token in enumerate(tokens):
+                lo = max(0, i - self.window)
+                hi = min(len(tokens), i + self.window + 1)
+                for j in range(lo, hi):
+                    if j == i:
+                        continue
+                    pair_count[token][tokens[j]] += 1
+                    total_pairs += 1
+        vocab = sorted(
+            token for token, count in token_count.items()
+            if count >= self.min_count
+        )
+        if not vocab or total_pairs == 0:
+            self._token_vectors = {}
+            self._fitted = True
+            return self
+
+        context_index = {token: i for i, token in enumerate(vocab)}
+        context_marginal = np.zeros(len(vocab), dtype=np.float64)
+        for token in vocab:
+            for context, count in pair_count[token].items():
+                if context in context_index:
+                    context_marginal[context_index[context]] += count
+        token_marginal = {
+            token: sum(
+                count
+                for context, count in pair_count[token].items()
+                if context in context_index
+            )
+            for token in vocab
+        }
+        grand_total = context_marginal.sum()
+        if grand_total == 0:
+            self._token_vectors = {}
+            self._fitted = True
+            return self
+
+        rng = np.random.default_rng(self.seed)
+        projection = rng.standard_normal((len(vocab), self.dim)) / math.sqrt(self.dim)
+
+        vectors: Dict[str, np.ndarray] = {}
+        for token in vocab:
+            row = np.zeros(len(vocab), dtype=np.float64)
+            t_marg = token_marginal[token]
+            if t_marg == 0:
+                continue
+            for context, count in pair_count[token].items():
+                idx = context_index.get(context)
+                if idx is None:
+                    continue
+                c_marg = context_marginal[idx]
+                pmi = math.log(
+                    (count * grand_total) / (t_marg * c_marg)
+                )
+                if pmi > 0:
+                    row[idx] = pmi
+            dense = row @ projection
+            norm = np.linalg.norm(dense)
+            if norm > 0:
+                vectors[token] = dense / norm
+        self._token_vectors = vectors
+        self._fitted = True
+        return self
+
+    def token_vector(self, token: str) -> Optional[np.ndarray]:
+        """Vector of a single (analyzed) token; None when out of vocabulary."""
+        return self._token_vectors.get(token)
+
+    def transform_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        """Mean-of-token-vectors document embedding, L2 normalized."""
+        if not self._fitted:
+            raise RuntimeError("CooccurrenceEmbedder.transform called before fit")
+        acc = np.zeros(self.dim, dtype=np.float64)
+        hits = 0
+        for token in tokens:
+            vec = self._token_vectors.get(token)
+            if vec is not None:
+                acc += vec
+                hits += 1
+        if hits == 0:
+            return acc
+        acc /= hits
+        norm = np.linalg.norm(acc)
+        if norm > 0:
+            acc /= norm
+        return acc
+
+    def transform(self, text: str) -> np.ndarray:
+        """Embed raw text via the standard analysis chain."""
+        return self.transform_tokens(analyze(text))
+
+    def transform_many(self, texts: Iterable[str]) -> np.ndarray:
+        """Embed a batch of texts into a (n, dim) matrix."""
+        rows = [self.transform(text) for text in texts]
+        if not rows:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.vstack(rows)

@@ -1,0 +1,74 @@
+"""Per-token embeddings for late-interaction (ColBERT-style) scoring.
+
+ColBERT compares *each token* of the query to *each token* of a document.
+Its power as a reranker comes from that interaction structure, not from
+any one encoder — so we embed each token from its character n-grams
+(fastText-style), which makes morphologically close tokens ("elections" /
+"election", "1,234" / "1234") near-neighbours while unrelated tokens stay
+near-orthogonal in a high-dimensional hashed space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.text import analyze
+from repro.text.similarity import ngrams
+
+
+def _feature_vector(feature: str, dim: int, salt: str) -> np.ndarray:
+    """Deterministic dense unit vector for one n-gram feature."""
+    digest = hashlib.blake2b((salt + feature).encode("utf-8"), digest_size=8).digest()
+    seed = int.from_bytes(digest, "little")
+    rng = np.random.default_rng(seed)
+    vec = rng.standard_normal(dim)
+    return vec / np.linalg.norm(vec)
+
+
+class TokenEmbedder:
+    """Character n-gram token embedder with an in-process feature cache."""
+
+    def __init__(self, dim: int = 64, min_n: int = 3, max_n: int = 4, salt: str = "tok") -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if min_n > max_n:
+            raise ValueError(f"min_n ({min_n}) must be <= max_n ({max_n})")
+        self.dim = dim
+        self.min_n = min_n
+        self.max_n = max_n
+        self.salt = salt
+        self._feature_cache: dict = {}
+
+    def _feature(self, feature: str) -> np.ndarray:
+        vec = self._feature_cache.get(feature)
+        if vec is None:
+            vec = _feature_vector(feature, self.dim, self.salt)
+            self._feature_cache[feature] = vec
+        return vec
+
+    def embed_token(self, token: str) -> np.ndarray:
+        """Unit vector for one token: mean of its n-gram feature vectors
+        plus a whole-token feature (so exact matches dominate)."""
+        features: List[str] = [f"<{token}>"]
+        for n in range(self.min_n, self.max_n + 1):
+            features.extend(sorted(ngrams(token, n)))
+        acc = np.zeros(self.dim, dtype=np.float64)
+        for feature in features:
+            acc += self._feature(feature)
+        norm = np.linalg.norm(acc)
+        if norm > 0:
+            acc /= norm
+        return acc
+
+    def embed_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        """(len(tokens), dim) matrix of token embeddings."""
+        if not tokens:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.vstack([self.embed_token(token) for token in tokens])
+
+    def embed_text(self, text: str) -> np.ndarray:
+        """Token-embedding matrix of raw text under the analysis chain."""
+        return self.embed_tokens(analyze(text))

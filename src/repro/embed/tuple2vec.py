@@ -1,0 +1,68 @@
+"""tuple2vec / text2vec facades.
+
+The paper cites tuple-to-vec (RPT) and text-to-vec (BERT) as the
+embedding front ends of the semantic index.  These helpers embed lake
+instances with any vectorizer exposing ``transform_tokens``; tuples weight
+schema tokens lower than value tokens, matching the intuition that values
+identify a tuple while column names identify only its table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence
+
+import numpy as np
+
+from repro.datalake.serialize import serialize_table
+from repro.datalake.types import Row, Table
+from repro.text import analyze
+
+
+class TokenVectorizer(Protocol):
+    """Anything that can embed a token sequence (duck-typed)."""
+
+    def transform_tokens(self, tokens: Sequence[str]) -> np.ndarray:  # pragma: no cover
+        ...
+
+
+def embed_row(
+    row: Row,
+    vectorizer: TokenVectorizer,
+    schema_weight: float = 0.5,
+) -> np.ndarray:
+    """Embed a tuple: value tokens at weight 1, schema tokens down-weighted.
+
+    Down-weighting is implemented by token repetition in the value stream
+    (integer weights only would lose granularity, so we embed the two
+    streams separately and blend).
+    """
+    value_tokens: List[str] = []
+    for value in row.values:
+        value_tokens.extend(analyze(value))
+    schema_tokens: List[str] = []
+    for column in row.columns:
+        schema_tokens.extend(analyze(column))
+
+    value_vec = vectorizer.transform_tokens(value_tokens)
+    schema_vec = vectorizer.transform_tokens(schema_tokens)
+    blended = value_vec + schema_weight * schema_vec
+    norm = np.linalg.norm(blended)
+    if norm > 0:
+        blended /= norm
+    return blended
+
+
+def embed_table(
+    table: Table,
+    vectorizer: TokenVectorizer,
+    max_rows: int = 30,
+) -> np.ndarray:
+    """Embed a whole table from its serialized form (caption + header + rows)."""
+    return vectorizer.transform_tokens(
+        analyze(serialize_table(table, max_rows=max_rows))
+    )
+
+
+def embed_text(text: str, vectorizer: TokenVectorizer) -> np.ndarray:
+    """Embed raw text with the shared analysis chain."""
+    return vectorizer.transform_tokens(analyze(text))

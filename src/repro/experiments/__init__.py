@@ -1,0 +1,20 @@
+"""Experiment runners for every table and figure in the paper.
+
+Each module reproduces one piece of Section 4:
+
+* :mod:`repro.experiments.headline` — the 0.52 / 0.54 no-evidence
+  accuracies that motivate verification;
+* :mod:`repro.experiments.table1` — retrieval recall (Table 1);
+* :mod:`repro.experiments.table2` — verifier accuracy (Table 2);
+* :mod:`repro.experiments.figures` — the Figure 1 and Figure 4 case
+  studies;
+* :mod:`repro.experiments.ablations` — design-choice ablations
+  (retrieval depth, combiner, reranker, ANN index, trust weighting).
+
+:func:`repro.experiments.setup.get_context` builds (and caches) the
+shared corpus + workloads + models for a scale profile.
+"""
+
+from repro.experiments.setup import ExperimentContext, get_context
+
+__all__ = ["ExperimentContext", "get_context"]

@@ -1,0 +1,196 @@
+"""Table 2 — evaluation of the Verifier.
+
+|                         | ChatGPT | PASTA |
+|-------------------------|---------|-------|
+| (tuple, tuple+text)     | 0.88    | NA    |
+| (text, relevant table)  | 0.75    | 0.89  |
+| (text, retrieved table) | 0.91    | 0.72  |
+
+Correctness follows the paper's three rules: a verifier is correct when
+it (1) verifies evidence that truly supports, (2) refutes evidence that
+truly refutes, and (3) answers "not related" for evidence that does
+neither — with the concession that the binary PASTA is also counted
+correct when it answers "false" on unrelated evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datalake.types import Modality, Row, Table, TextDocument
+from repro.experiments.setup import ExperimentContext, GeneratedTuple
+from repro.text import analyze, normalize
+from repro.text.numbers import numbers_in, parse_number
+from repro.verify.llm_verifier import LLMVerifier
+from repro.verify.objects import ClaimObject, TupleObject
+from repro.verify.pasta import PastaVerifier
+from repro.verify.verdict import Verdict
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table 2."""
+
+    pair: str
+    chatgpt: Optional[float]
+    pasta: Optional[float]
+    paper_chatgpt: Optional[float]
+    paper_pasta: Optional[float]
+
+
+# ---------------------------------------------------------------------------
+# gold verdicts
+# ---------------------------------------------------------------------------
+def _page_states_value(page: TextDocument, value: str) -> bool:
+    number = parse_number(value)
+    if number is not None:
+        return any(abs(n - number) <= 1e-9 for n in numbers_in(page.text))
+    return normalize(value) in normalize(page.text)
+
+
+def _page_covers_column(page: TextDocument, column: str) -> bool:
+    column_tokens = set(analyze(column))
+    return bool(column_tokens & set(analyze(page.text)))
+
+
+def gold_tuple_verdict(
+    context: ExperimentContext,
+    generated: GeneratedTuple,
+    evidence,
+) -> Verdict:
+    """Ground-truth verdict for one (generated tuple, evidence) pair.
+
+    Section 4's relevance rules: the original counterpart tuple is the
+    relevant tuple; pages of the tuple's entities are relevant text —
+    but a page only supports/refutes the imputed attribute when it
+    actually records that attribute's true value.
+    """
+    original_id = f"{generated.table_id}#r{generated.row_index}"
+    if isinstance(evidence, Row):
+        if evidence.instance_id == original_id:
+            return Verdict.VERIFIED if generated.is_correct else Verdict.REFUTED
+        return Verdict.NOT_RELATED
+    assert isinstance(evidence, TextDocument)
+    row = context.bundle.lake.table(generated.table_id).row(generated.row_index)
+    relevant_pages = context.bundle.relevant_pages_for_row(row)
+    if evidence.doc_id not in relevant_pages:
+        return Verdict.NOT_RELATED
+    if not _page_covers_column(evidence, generated.column):
+        return Verdict.NOT_RELATED
+    if not _page_states_value(evidence, generated.true_value):
+        return Verdict.NOT_RELATED
+    return Verdict.VERIFIED if generated.is_correct else Verdict.REFUTED
+
+
+# ---------------------------------------------------------------------------
+# row 1: (tuple, tuple+text) with the LLM verifier
+# ---------------------------------------------------------------------------
+def run_tuple_row(context: ExperimentContext) -> float:
+    """Accuracy of the LLM verifier over all retrieved (tuple, evidence)
+    pairs: top-3 tuples plus top-3 text files per generated tuple."""
+    verifier = LLMVerifier(context.verifier_llm)
+    correct = 0
+    total = 0
+    for generated in context.generated:
+        table = context.bundle.lake.table(generated.table_id)
+        row = table.row(generated.row_index).replace_value(
+            generated.column, generated.generated_value or "NaN"
+        )
+        obj = TupleObject(
+            object_id=generated.task_id, row=row, attribute=generated.column
+        )
+        evidence_hits = []
+        for modality, k in ((Modality.TUPLE, 3), (Modality.TEXT, 3)):
+            evidence_hits.extend(
+                context.system.indexer.search(obj.query_text(), modality, k)
+            )
+        for hit in evidence_hits:
+            evidence = context.bundle.lake.instance(hit.instance_id)
+            gold = gold_tuple_verdict(context, generated, evidence)
+            outcome = verifier.verify(obj, evidence)
+            if outcome.verdict is gold:
+                correct += 1
+            total += 1
+    return correct / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# rows 2 and 3: (text, table) with ChatGPT and PASTA
+# ---------------------------------------------------------------------------
+def _pasta_correct(predicted: Verdict, gold: Verdict) -> bool:
+    """The paper's rule (3): PASTA answering 'false' on unrelated
+    evidence counts as correct."""
+    if gold is Verdict.NOT_RELATED:
+        return predicted is Verdict.REFUTED
+    return predicted is gold
+
+
+def run_relevant_table_row(context: ExperimentContext):
+    """(text, relevant table): gold table supplied as evidence."""
+    llm_verifier = LLMVerifier(context.verifier_llm)
+    pasta = PastaVerifier()
+    llm_correct = pasta_correct = total = 0
+    for task in context.claim_workload:
+        table = context.bundle.lake.table(task.table_id)
+        obj = ClaimObject(
+            object_id=task.claim.claim_id,
+            text=task.claim.text,
+            context=task.claim.context,
+        )
+        gold = Verdict.VERIFIED if task.label else Verdict.REFUTED
+        if llm_verifier.verify(obj, table).verdict is gold:
+            llm_correct += 1
+        if pasta.verify(obj, table).verdict is gold:
+            pasta_correct += 1
+        total += 1
+    return (
+        llm_correct / total if total else 0.0,
+        pasta_correct / total if total else 0.0,
+    )
+
+
+def run_retrieved_table_row(context: ExperimentContext, k: int = 5):
+    """(text, retrieved table): every top-k retrieved table is a pair."""
+    llm_verifier = LLMVerifier(context.verifier_llm)
+    pasta = PastaVerifier()
+    llm_correct = pasta_correct = total = 0
+    for task in context.claim_workload:
+        obj = ClaimObject(
+            object_id=task.claim.claim_id,
+            text=task.claim.text,
+            context=task.claim.context,
+        )
+        hits = context.system.indexer.search(task.claim.text, Modality.TABLE, k)
+        for hit in hits:
+            table = context.bundle.lake.instance(hit.instance_id)
+            assert isinstance(table, Table)
+            if table.table_id == task.table_id:
+                gold = Verdict.VERIFIED if task.label else Verdict.REFUTED
+            else:
+                gold = Verdict.NOT_RELATED
+            if llm_verifier.verify(obj, table).verdict is gold:
+                llm_correct += 1
+            if _pasta_correct(pasta.verify(obj, table).verdict, gold):
+                pasta_correct += 1
+            total += 1
+    return (
+        llm_correct / total if total else 0.0,
+        pasta_correct / total if total else 0.0,
+    )
+
+
+def run_table2(context: ExperimentContext) -> List[Table2Row]:
+    """Reproduce all three rows of Table 2."""
+    tuple_accuracy = run_tuple_row(context)
+    relevant_llm, relevant_pasta = run_relevant_table_row(context)
+    retrieved_llm, retrieved_pasta = run_retrieved_table_row(context)
+    return [
+        Table2Row("(tuple, tuple+text)", tuple_accuracy, None, 0.88, None),
+        Table2Row(
+            "(text, relevant table)", relevant_llm, relevant_pasta, 0.75, 0.89
+        ),
+        Table2Row(
+            "(text, retrieved table)", retrieved_llm, retrieved_pasta, 0.91, 0.72
+        ),
+    ]

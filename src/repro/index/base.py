@@ -1,0 +1,64 @@
+"""Common index interface.
+
+Every index maps string queries to scored instance ids; resolution of ids
+back to data instances happens at the lake.  Keeping the interface
+id-based lets one Combiner merge hits across heterogeneous indexes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True, order=True)
+class SearchHit:
+    """A scored retrieval result.
+
+    Ordering is by (score, instance_id) so ties break deterministically.
+    """
+
+    score: float
+    instance_id: str
+    index_name: str = field(default="", compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SearchHit({self.instance_id!r}, {self.score:.4f}, {self.index_name})"
+
+
+class SearchIndex(abc.ABC):
+    """Abstract top-k retrieval index over (instance_id, payload) entries."""
+
+    name: str = "index"
+
+    @abc.abstractmethod
+    def add(self, instance_id: str, payload: str) -> None:
+        """Index one instance.  ``payload`` is its serialized form."""
+
+    @abc.abstractmethod
+    def search(self, query: str, k: int = 10) -> List[SearchHit]:
+        """Top-k hits for ``query``, highest score first."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of indexed instances."""
+
+    def add_many(self, entries: Dict[str, str]) -> None:
+        """Bulk-index a mapping of instance_id -> payload."""
+        for instance_id, payload in entries.items():
+            self.add(instance_id, payload)
+
+
+def top_k(scores: Dict[str, float], k: int, index_name: str = "") -> List[SearchHit]:
+    """Materialize the k best (score, id) pairs as hits, deterministically.
+
+    Ties are broken by instance id so that runs are reproducible.
+    """
+    if k <= 0:
+        return []
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
+    return [
+        SearchHit(score=score, instance_id=instance_id, index_name=index_name)
+        for instance_id, score in ranked
+    ]

@@ -1,0 +1,84 @@
+"""The Combiner: merge and deduplicate hits from multiple indexes.
+
+Per Section 3.1 of the paper, content- and semantic-based indexes retrieve
+overlapping result sets; the Combiner unions them, removes duplicates,
+and produces a single coarse ranking that the Reranker refines.
+
+Two fusion methods are provided:
+
+* ``rrf`` — reciprocal rank fusion, the standard score-free method for
+  merging heterogeneous rankings (scores from BM25 and cosine are not
+  comparable);
+* ``max`` — keep each id's maximum normalized score across indexes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Sequence
+
+from repro.index.base import SearchHit, SearchIndex, top_k
+
+
+class FusionMethod(enum.Enum):
+    """How per-index rankings are fused."""
+
+    RRF = "rrf"
+    MAX = "max"
+
+
+def _normalize_scores(hits: Sequence[SearchHit]) -> Dict[str, float]:
+    """Min-max normalize one index's scores into [0, 1]."""
+    if not hits:
+        return {}
+    scores = [hit.score for hit in hits]
+    lo, hi = min(scores), max(scores)
+    if hi == lo:
+        return {hit.instance_id: 1.0 for hit in hits}
+    return {hit.instance_id: (hit.score - lo) / (hi - lo) for hit in hits}
+
+
+class Combiner:
+    """Fan a query out to several indexes and fuse the results."""
+
+    def __init__(
+        self,
+        indexes: Sequence[SearchIndex],
+        method: FusionMethod = FusionMethod.RRF,
+        rrf_k: int = 60,
+        name: str = "combined",
+    ) -> None:
+        if not indexes:
+            raise ValueError("Combiner needs at least one index")
+        self.indexes = list(indexes)
+        self.method = method
+        self.rrf_k = rrf_k
+        self.name = name
+
+    def search(self, query: str, k: int = 10, per_index_k: int = 0) -> List[SearchHit]:
+        """Query every index and fuse.
+
+        ``per_index_k`` controls how many hits each index contributes
+        before fusion (defaults to ``2 * k`` for headroom).
+        """
+        fan_out = per_index_k or max(2 * k, k)
+        rankings = [index.search(query, fan_out) for index in self.indexes]
+        return self.fuse(rankings, k)
+
+    def fuse(self, rankings: Iterable[Sequence[SearchHit]], k: int) -> List[SearchHit]:
+        """Fuse pre-computed per-index rankings into a single top-k."""
+        fused: Dict[str, float] = {}
+        if self.method is FusionMethod.RRF:
+            for ranking in rankings:
+                for rank, hit in enumerate(ranking):
+                    fused[hit.instance_id] = fused.get(hit.instance_id, 0.0) + 1.0 / (
+                        self.rrf_k + rank + 1
+                    )
+        elif self.method is FusionMethod.MAX:
+            for ranking in rankings:
+                normalized = _normalize_scores(list(ranking))
+                for instance_id, score in normalized.items():
+                    fused[instance_id] = max(fused.get(instance_id, 0.0), score)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown fusion method: {self.method}")
+        return top_k(fused, k, self.name)

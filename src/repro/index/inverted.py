@@ -1,0 +1,96 @@
+"""Inverted index with Okapi BM25 ranking — the Elasticsearch stand-in.
+
+This is the content-based index the paper's experiments actually use
+("We use Elasticsearch to retrieve the top-3 tuples and top-3 text
+files..."), so its ranking function matches ES defaults: BM25 with
+k1 = 1.2, b = 0.75.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, List
+
+from repro.index.base import SearchHit, SearchIndex, top_k
+from repro.text import analyze
+
+
+class InvertedIndex(SearchIndex):
+    """Token -> postings index scored with Okapi BM25."""
+
+    def __init__(
+        self,
+        name: str = "bm25",
+        k1: float = 1.2,
+        b: float = 0.75,
+        remove_stopwords: bool = True,
+        stemming: bool = True,
+    ) -> None:
+        if k1 < 0:
+            raise ValueError(f"k1 must be >= 0, got {k1}")
+        if not 0 <= b <= 1:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        self.name = name
+        self.k1 = k1
+        self.b = b
+        self.remove_stopwords = remove_stopwords
+        self.stemming = stemming
+        self._postings: Dict[str, Dict[str, int]] = defaultdict(dict)
+        self._doc_length: Dict[str, int] = {}
+        self._total_length = 0
+
+    def _analyze(self, text: str) -> List[str]:
+        return analyze(
+            text,
+            remove_stopwords=self.remove_stopwords,
+            stemming=self.stemming,
+        )
+
+    def add(self, instance_id: str, payload: str) -> None:
+        if instance_id in self._doc_length:
+            raise ValueError(f"duplicate instance id: {instance_id}")
+        tokens = self._analyze(payload)
+        self._doc_length[instance_id] = len(tokens)
+        self._total_length += len(tokens)
+        for token, count in Counter(tokens).items():
+            self._postings[token][instance_id] = count
+
+    def __len__(self) -> int:
+        return len(self._doc_length)
+
+    @property
+    def avg_doc_length(self) -> float:
+        if not self._doc_length:
+            return 0.0
+        return self._total_length / len(self._doc_length)
+
+    def idf(self, token: str) -> float:
+        """BM25+ style idf, floored at a small positive value."""
+        num_docs = len(self._doc_length)
+        df = len(self._postings.get(token, ()))
+        if num_docs == 0:
+            return 0.0
+        raw = math.log((num_docs - df + 0.5) / (df + 0.5) + 1.0)
+        return max(raw, 1e-6)
+
+    def search(self, query: str, k: int = 10) -> List[SearchHit]:
+        tokens = self._analyze(query)
+        if not tokens or not self._doc_length:
+            return []
+        avg_len = self.avg_doc_length
+        scores: Dict[str, float] = defaultdict(float)
+        for token, query_count in Counter(tokens).items():
+            postings = self._postings.get(token)
+            if not postings:
+                continue
+            idf = self.idf(token)
+            for instance_id, tf in postings.items():
+                doc_len = self._doc_length[instance_id]
+                denom = tf + self.k1 * (
+                    1 - self.b + self.b * doc_len / avg_len if avg_len else 1.0
+                )
+                scores[instance_id] += (
+                    idf * (tf * (self.k1 + 1)) / denom * query_count
+                )
+        return top_k(scores, k, self.name)

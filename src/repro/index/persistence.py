@@ -1,0 +1,62 @@
+"""Index persistence.
+
+Rebuilding a BM25 index over a large lake on every process start is the
+dominant cold-start cost; these helpers snapshot an
+:class:`~repro.index.inverted.InvertedIndex` to JSON and restore it
+without re-analyzing the corpus.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.index.inverted import InvertedIndex
+
+_FORMAT_VERSION = 1
+
+
+def save_inverted_index(index: InvertedIndex, path: Union[str, Path]) -> None:
+    """Snapshot an inverted index to ``path``."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "name": index.name,
+        "k1": index.k1,
+        "b": index.b,
+        "remove_stopwords": index.remove_stopwords,
+        "stemming": index.stemming,
+        "doc_length": index._doc_length,
+        "total_length": index._total_length,
+        "postings": {
+            token: postings for token, postings in index._postings.items()
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, ensure_ascii=False)
+
+
+def load_inverted_index(path: Union[str, Path]) -> InvertedIndex:
+    """Restore an inverted index written by :func:`save_inverted_index`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index format version: {payload.get('version')!r}"
+        )
+    index = InvertedIndex(
+        name=payload["name"],
+        k1=payload["k1"],
+        b=payload["b"],
+        remove_stopwords=payload["remove_stopwords"],
+        stemming=payload["stemming"],
+    )
+    index._doc_length = dict(payload["doc_length"])
+    index._total_length = payload["total_length"]
+    for token, postings in payload["postings"].items():
+        index._postings[token] = {
+            doc_id: int(count) for doc_id, count in postings.items()
+        }
+    return index

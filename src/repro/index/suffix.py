@@ -1,0 +1,143 @@
+"""Substring search via a generalized suffix automaton.
+
+The paper lists "special data structures such as Tries or suffix trees"
+among the content-based indexes.  A suffix automaton is the compact
+DAWG equivalent of a suffix tree: linear construction, and substring
+membership in O(|query|).  The index builds one automaton per document
+set by inserting each document separated by a sentinel, tracking for
+every state the set of documents whose suffixes pass through it
+(bounded per state to keep memory linear in practice).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.index.base import SearchHit, SearchIndex, top_k
+from repro.text import normalize
+
+
+class _State:
+    __slots__ = ("next", "link", "length", "doc_ids")
+
+    def __init__(self, length: int = 0) -> None:
+        self.next: Dict[str, int] = {}
+        self.link: int = -1
+        self.length: int = length
+        self.doc_ids: Set[str] = set()
+
+
+class SuffixAutomatonIndex(SearchIndex):
+    """Exact-substring retrieval over normalized payloads.
+
+    ``max_docs_per_state`` caps how many distinct documents a state
+    records; states over the cap answer membership but report a
+    truncated document set (like a posting-list cutoff).
+    """
+
+    name = "suffix"
+
+    def __init__(self, max_docs_per_state: int = 64) -> None:
+        if max_docs_per_state <= 0:
+            raise ValueError("max_docs_per_state must be positive")
+        self.max_docs_per_state = max_docs_per_state
+        self._states: List[_State] = [_State()]
+        self._last = 0
+        self._docs: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # construction (online suffix-automaton extension)
+    # ------------------------------------------------------------------
+    def _extend(self, ch: str) -> None:
+        states = self._states
+        current = len(states)
+        states.append(_State(states[self._last].length + 1))
+        p = self._last
+        while p >= 0 and ch not in states[p].next:
+            states[p].next[ch] = current
+            p = states[p].link
+        if p == -1:
+            states[current].link = 0
+        else:
+            q = states[p].next[ch]
+            if states[p].length + 1 == states[q].length:
+                states[current].link = q
+            else:
+                clone = len(states)
+                clone_state = _State(states[p].length + 1)
+                clone_state.next = dict(states[q].next)
+                clone_state.link = states[q].link
+                clone_state.doc_ids = set(states[q].doc_ids)
+                states.append(clone_state)
+                while p >= 0 and states[p].next.get(ch) == q:
+                    states[p].next[ch] = clone
+                    p = states[p].link
+                states[q].link = clone
+                states[current].link = clone
+        self._last = current
+
+    def _mark(self, state_index: int, doc_id: str) -> None:
+        """Propagate document ownership up the suffix links."""
+        states = self._states
+        while state_index > 0:
+            doc_ids = states[state_index].doc_ids
+            if doc_id in doc_ids:
+                break
+            if len(doc_ids) < self.max_docs_per_state:
+                doc_ids.add(doc_id)
+            state_index = states[state_index].link
+
+    def add(self, instance_id: str, payload: str) -> None:
+        if instance_id in self._docs:
+            raise ValueError(f"duplicate instance id: {instance_id}")
+        text = normalize(payload)
+        self._docs[instance_id] = text
+        self._last = 0  # each document restarts from the root (generalized)
+        for ch in text:
+            self._extend(ch)
+            self._mark(self._last, instance_id)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _walk(self, query: str) -> Optional[int]:
+        state = 0
+        for ch in normalize(query):
+            state = self._states[state].next.get(ch, -1)
+            if state == -1:
+                return None
+        return state
+
+    def contains(self, query: str) -> bool:
+        """Whether ``query`` occurs as a substring of any document."""
+        return bool(normalize(query)) and self._walk(query) is not None
+
+    def documents_containing(self, query: str) -> List[str]:
+        """Ids of documents containing ``query`` (may be truncated at the
+        per-state cap; falls back to a verify scan when truncated)."""
+        state = self._walk(query)
+        if state is None or not normalize(query):
+            return []
+        doc_ids = self._states[state].doc_ids
+        if len(doc_ids) >= self.max_docs_per_state:
+            needle = normalize(query)
+            return sorted(
+                doc_id for doc_id, text in self._docs.items() if needle in text
+            )
+        return sorted(doc_ids)
+
+    def search(self, query: str, k: int = 10) -> List[SearchHit]:
+        """Substring hits; score is |query| / |document| (longer exact
+        matches of shorter documents rank first)."""
+        matches = self.documents_containing(query)
+        if not matches:
+            return []
+        needle_len = len(normalize(query))
+        scores = {
+            doc_id: needle_len / max(len(self._docs[doc_id]), 1)
+            for doc_id in matches
+        }
+        return top_k(scores, k, self.name)

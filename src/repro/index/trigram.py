@@ -1,0 +1,50 @@
+"""Character-trigram similarity index (pg_trgm semantics).
+
+A second content-based index: robust to small spelling variation, useful
+for short strings (entity names, cell values) where BM25's token match is
+all-or-nothing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set
+
+from repro.index.base import SearchHit, SearchIndex, top_k
+from repro.text import normalize
+from repro.text.similarity import ngrams
+
+
+class TrigramIndex(SearchIndex):
+    """Trigram postings with Jaccard scoring."""
+
+    def __init__(self, name: str = "trigram") -> None:
+        self.name = name
+        self._postings: Dict[str, Set[str]] = defaultdict(set)
+        self._grams: Dict[str, Set[str]] = {}
+
+    def add(self, instance_id: str, payload: str) -> None:
+        if instance_id in self._grams:
+            raise ValueError(f"duplicate instance id: {instance_id}")
+        grams = ngrams(normalize(payload), 3)
+        self._grams[instance_id] = grams
+        for gram in grams:
+            self._postings[gram].add(instance_id)
+
+    def __len__(self) -> int:
+        return len(self._grams)
+
+    def search(self, query: str, k: int = 10) -> List[SearchHit]:
+        query_grams = ngrams(normalize(query), 3)
+        if not query_grams:
+            return []
+        overlap: Dict[str, int] = defaultdict(int)
+        for gram in query_grams:
+            for instance_id in self._postings.get(gram, ()):
+                overlap[instance_id] += 1
+        scores = {
+            instance_id: shared
+            / (len(query_grams) + len(self._grams[instance_id]) - shared)
+            for instance_id, shared in overlap.items()
+        }
+        return top_k(scores, k, self.name)

@@ -1,0 +1,49 @@
+"""The simulated large language model.
+
+The paper uses ChatGPT in three roles: *generator* (imputing tuple
+values, answering questions), *judge without evidence* (the headline
+0.52/0.54 accuracies), and *verifier with evidence* (Table 2).
+:class:`SimulatedLLM` plays all three with the same operating
+characteristics, implemented mechanistically:
+
+* a :class:`WorldKnowledge` store — a noisy parametric memory of the
+  corpus, where each cell is remembered correctly only with probability
+  ``knowledge_coverage`` (long-tail web-table facts are exactly what
+  LLMs half-know);
+* a :class:`NoisyClaimReasoner` — table reasoning whose arithmetic
+  slips per-item (LLMs are unreliable at multi-step arithmetic but good
+  at string lookup);
+* evidence-conditioned verification that checks *relatedness first*
+  (strong generalization to irrelevant evidence), then grounds its
+  verdict in the supplied evidence rather than parametric memory.
+
+Everything is deterministic: per-call randomness derives from a BLAKE2
+hash of (seed, prompt), so identical prompts always produce identical
+responses regardless of call order.
+"""
+
+from repro.llm.knowledge import WorldKnowledge
+from repro.llm.model import SimulatedLLM
+from repro.llm.profile import LLMProfile
+from repro.llm.prompts import (
+    claim_question_prompt,
+    parse_boolean_response,
+    parse_completed_table,
+    parse_verification_response,
+    tuple_completion_prompt,
+    verification_prompt,
+)
+from repro.llm.reasoning import NoisyClaimReasoner
+
+__all__ = [
+    "LLMProfile",
+    "NoisyClaimReasoner",
+    "SimulatedLLM",
+    "WorldKnowledge",
+    "claim_question_prompt",
+    "parse_boolean_response",
+    "parse_completed_table",
+    "parse_verification_response",
+    "tuple_completion_prompt",
+    "verification_prompt",
+]

@@ -1,0 +1,221 @@
+"""Parametric world knowledge of the simulated LLM.
+
+The model's "training data" is the same world the lake was built from,
+but its memory of it is noisy: each non-key cell is stored correctly
+only with probability ``knowledge_coverage``; otherwise a plausible
+alternative (a perturbed number, or another value drawn from the same
+column's domain) is stored instead.  This is the mechanism behind the
+paper's motivating observation that ChatGPT imputes long-tail web-table
+values at ~0.5 accuracy.
+
+Each remembered cell is in one of three states: *correct* (probability
+``coverage``), *plausibly wrong* (``wrong_rate`` — a perturbed number or
+another value from the column's domain), or *absent* (the rest — the
+model simply has no memory of the value and must guess or hallucinate).
+Corruption is deterministic per (seed, table, row, column), so the same
+model always "knows" the same wrong facts — as a fixed checkpoint does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalake.types import Table
+from repro.text import analyze, normalize
+from repro.text.numbers import format_number, parse_number
+from repro.text.similarity import jaccard
+
+
+#: sentinel stored for cells the model has no memory of
+UNKNOWN = "unknown"
+
+
+def rng_for(seed: int, *parts: str) -> random.Random:
+    """Deterministic RNG derived from a seed and string parts."""
+    digest = hashlib.blake2b(
+        ("\x1f".join([str(seed), *parts])).encode("utf-8"), digest_size=8
+    ).digest()
+    return random.Random(int.from_bytes(digest, "little"))
+
+
+class WorldKnowledge:
+    """A noisy, immutable memory of a collection of tables."""
+
+    def __init__(
+        self,
+        tables: Sequence[Table],
+        coverage: float = 0.55,
+        wrong_rate: float = 0.2,
+        confusion_rate: float = 0.15,
+        seed: int = 1234,
+    ) -> None:
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError(f"coverage must be in [0, 1], got {coverage}")
+        if not 0.0 <= wrong_rate <= 1.0 or coverage + wrong_rate > 1.0:
+            raise ValueError(
+                f"wrong_rate must be in [0, 1-coverage], got {wrong_rate}"
+            )
+        if not 0.0 <= confusion_rate <= 1.0:
+            raise ValueError(
+                f"confusion_rate must be in [0, 1], got {confusion_rate}"
+            )
+        self.coverage = coverage
+        self.wrong_rate = wrong_rate
+        self.confusion_rate = confusion_rate
+        self.seed = seed
+        self._memory: Dict[str, Table] = {}
+        self._caption_index: Dict[str, str] = {}
+        self._column_domains: Dict[Tuple[str, str], List[str]] = {}
+        self._build(tables)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, tables: Sequence[Table]) -> None:
+        # first pass: collect per-(domain, column) value pools for
+        # plausible-wrong sampling
+        for table in tables:
+            domain = str(table.metadata.get("domain", "generic"))
+            for column in table.columns:
+                pool = self._column_domains.setdefault((domain, column), [])
+                pool.extend(table.column_values(column))
+        # second pass: corrupt cell values
+        by_domain: Dict[str, List[str]] = {}
+        for table in tables:
+            self._memory[table.table_id] = self._corrupt(table)
+            self._caption_index[normalize(table.caption)] = table.table_id
+            domain = str(table.metadata.get("domain", "generic"))
+            by_domain.setdefault(domain, []).append(table.table_id)
+        # third pass: confusion — the model sometimes misattributes a
+        # caption to a *similar* table (same domain), the way LLMs mix up
+        # the 1996 and 2000 editions of the same table family
+        for table in tables:
+            rng = rng_for(self.seed, "confuse", table.table_id)
+            if rng.random() >= self.confusion_rate:
+                continue
+            domain = str(table.metadata.get("domain", "generic"))
+            siblings = [t for t in by_domain[domain] if t != table.table_id]
+            if not siblings:
+                continue
+            self._caption_index[normalize(table.caption)] = rng.choice(siblings)
+
+    def _plausible_wrong(
+        self, table: Table, column: str, actual: str, rng: random.Random
+    ) -> str:
+        number = parse_number(actual)
+        if number is not None and abs(number) > 4:
+            factor = rng.uniform(1.05, 1.6)
+            if rng.random() < 0.5:
+                factor = 1.0 / factor
+            wrong = number * factor
+            if float(number).is_integer():
+                wrong = float(int(round(wrong)))
+                if wrong == number:
+                    wrong = number + rng.choice([-2.0, -1.0, 1.0, 2.0])
+            if "," in actual:
+                return f"{int(wrong):,}"
+            return format_number(round(wrong, 1))
+        domain = str(table.metadata.get("domain", "generic"))
+        pool = self._column_domains.get((domain, column), [])
+        alternatives = sorted({v for v in pool if normalize(v) != normalize(actual)})
+        if alternatives:
+            return rng.choice(alternatives)
+        return actual  # nothing plausible to confuse it with
+
+    def _corrupt(self, table: Table) -> Table:
+        protected = {table.key_column}
+        new_rows: List[Tuple[str, ...]] = []
+        for row_index, row in enumerate(table.rows):
+            cells = list(row)
+            for col_index, column in enumerate(table.columns):
+                if column in protected:
+                    continue
+                rng = rng_for(
+                    self.seed, table.table_id, str(row_index), column
+                )
+                draw = rng.random()
+                if draw < self.coverage:
+                    continue
+                if draw < self.coverage + self.wrong_rate:
+                    cells[col_index] = self._plausible_wrong(
+                        table, column, cells[col_index], rng
+                    )
+                else:
+                    cells[col_index] = UNKNOWN
+            new_rows.append(tuple(cells))
+        return Table(
+            table_id=table.table_id,
+            caption=table.caption,
+            columns=table.columns,
+            rows=new_rows,
+            source=table.source,
+            entity_columns=table.entity_columns,
+            key_column=table.key_column,
+            metadata=dict(table.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # recall
+    # ------------------------------------------------------------------
+    def recall_table(self, caption: str) -> Optional[Table]:
+        """The model's memory of the table best matching ``caption``.
+
+        Exact normalized caption match first; otherwise the highest
+        token-overlap caption above 0.5 (the model "recognizes" tables
+        it saw in training only approximately).
+        """
+        key = normalize(caption)
+        table_id = self._caption_index.get(key)
+        if table_id is not None:
+            return self._memory[table_id]
+        target = set(analyze(caption))
+        if not target:
+            return None
+        best: Tuple[float, Optional[str]] = (0.0, None)
+        for stored_caption, stored_id in self._caption_index.items():
+            score = jaccard(target, analyze(stored_caption))
+            if score > best[0]:
+                best = (score, stored_id)
+        if best[0] >= 0.5 and best[1] is not None:
+            return self._memory[best[1]]
+        return None
+
+    def recall_cell(
+        self, caption: str, key_value: str, column: str
+    ) -> Optional[str]:
+        """What the model believes ``column`` is for the row keyed by
+        ``key_value`` in the table named ``caption``; None if it has no
+        memory at all (it will then hallucinate from the column domain).
+        """
+        table = self.recall_table(caption)
+        if table is None or table.key_column is None:
+            return None
+        if column not in table.columns:
+            return None
+        target = normalize(key_value)
+        for row in table.iter_rows():
+            key_cell = row.get(table.key_column)
+            if key_cell is not None and normalize(key_cell) == target:
+                value = row.get(column)
+                return None if value == UNKNOWN else value
+        return None
+
+    def hallucinate_value(
+        self, caption: str, column: str, rng: random.Random
+    ) -> str:
+        """A made-up but domain-plausible value for a column the model
+        has no memory of."""
+        table = self.recall_table(caption)
+        domain = "generic"
+        if table is not None:
+            domain = str(table.metadata.get("domain", "generic"))
+        pool = self._column_domains.get((domain, column))
+        if pool:
+            return rng.choice(sorted(set(pool)))
+        return "unknown"
+
+    @property
+    def num_tables(self) -> int:
+        return len(self._memory)

@@ -1,0 +1,574 @@
+"""The simulated chat model.
+
+:class:`SimulatedLLM` exposes one method — :meth:`chat` — and answers
+three families of prompts (tuple completion, no-evidence claim QA, and
+evidence-grounded verification) in free text, exactly as a hosted model
+would.  Its behaviour is fully mechanistic:
+
+* **generation** reads from a noisy parametric memory
+  (:class:`~repro.llm.knowledge.WorldKnowledge`);
+* **verification** reasons over the evidence *in the prompt* — checking
+  relatedness first, then comparing or executing — with the slip rates
+  of its :class:`~repro.llm.profile.LLMProfile`;
+* all randomness is a deterministic function of (seed, prompt).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.claims.model import ClaimSpec
+from repro.claims.parser import ClaimParser
+from repro.datalake.types import Table
+from repro.llm.knowledge import WorldKnowledge, rng_for
+from repro.llm.profile import LLMProfile
+from repro.llm.prompts import (
+    CLAIM_QA_MARKER,
+    COMPLETION_MARKER,
+    VERIFICATION_MARKER,
+    split_sections,
+)
+from repro.llm.reasoning import NoisyClaimReasoner
+from repro.text import analyze, normalize
+from repro.text.numbers import numbers_in, parse_number
+from repro.text.similarity import jaccard
+
+VERIFIED = "Verified"
+REFUTED = "Refuted"
+NOT_RELATED = "Not Related"
+
+
+def _years_in(text: str) -> set:
+    """Plausible calendar years mentioned in ``text``."""
+    return {int(n) for n in numbers_in(text) if 1900 <= n <= 2100 and n == int(n)}
+
+
+def _parse_tuple_payload(payload: str) -> Optional[Dict[str, str]]:
+    """Parse 'col: v ; col: v' back into a mapping; None if not a tuple."""
+    if ": " not in payload or "\n" in payload.strip():
+        return None
+    fields: Dict[str, str] = {}
+    for part in payload.split(" ; "):
+        column, sep, value = part.partition(": ")
+        if not sep:
+            return None
+        fields[column.strip()] = value.strip()
+    return fields if fields else None
+
+
+def _parse_table_payload(payload: str) -> Optional[Table]:
+    """Parse 'caption \\n header \\n rows...' back into a Table."""
+    lines = [line for line in payload.splitlines() if line.strip()]
+    if len(lines) < 3:
+        return None
+    pipe_lines = [line for line in lines if " | " in line]
+    if len(pipe_lines) < 2:
+        return None
+    caption = lines[0] if " | " not in lines[0] else ""
+    header = tuple(cell.strip() for cell in pipe_lines[0].split(" | "))
+    rows: List[Tuple[str, ...]] = []
+    for line in pipe_lines[1:]:
+        cells = tuple(cell.strip() for cell in line.split(" | "))
+        if len(cells) == len(header):
+            rows.append(cells)
+    if not rows:
+        return None
+    return Table(
+        table_id="evidence",
+        caption=caption,
+        columns=header,
+        rows=rows,
+        key_column=header[0],
+    )
+
+
+class SimulatedLLM:
+    """A deterministic stand-in for a hosted chat model."""
+
+    def __init__(
+        self,
+        knowledge: Optional[WorldKnowledge] = None,
+        profile: LLMProfile = LLMProfile(),
+        seed: int = 99,
+    ) -> None:
+        self.knowledge = knowledge
+        self.profile = profile
+        self.seed = seed
+        self._parser = ClaimParser(strict=False)
+        self._reasoner = NoisyClaimReasoner(profile)
+        self.num_calls = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def chat(self, prompt: str) -> str:
+        """Answer one prompt; identical prompts yield identical answers."""
+        self.num_calls += 1
+        if COMPLETION_MARKER in prompt:
+            return self._handle_completion(prompt)
+        if VERIFICATION_MARKER in prompt:
+            return self._handle_verification(prompt)
+        if CLAIM_QA_MARKER in prompt:
+            return self._handle_claim_qa(prompt)
+        return "I'm not sure how to help with that."
+
+    # ------------------------------------------------------------------
+    # tuple completion (generation)
+    # ------------------------------------------------------------------
+    def _handle_completion(self, prompt: str) -> str:
+        if self.knowledge is None:
+            return "I do not have enough information to complete this table."
+        caption = ""
+        table_lines: List[str] = []
+        for line in prompt.splitlines():
+            if line.startswith("Table name:"):
+                caption = line.partition(":")[2].strip()
+            elif " | " in line:
+                table_lines.append(line)
+        if len(table_lines) < 2:
+            return "I could not find a table in the question."
+        header = [cell.strip() for cell in table_lines[0].split(" | ")]
+        out_lines = [" | ".join(header)]
+        for line in table_lines[1:]:
+            cells = [cell.strip() for cell in line.split(" | ")]
+            if len(cells) != len(header):
+                continue
+            key_value = cells[0]
+            for index, cell in enumerate(cells):
+                if cell != "NaN":
+                    continue
+                column = header[index]
+                recalled = self.knowledge.recall_cell(caption, key_value, column)
+                if recalled is None:
+                    rng = rng_for(self.seed, "hallucinate", caption, key_value, column)
+                    recalled = self.knowledge.hallucinate_value(caption, column, rng)
+                cells[index] = recalled
+            out_lines.append(" | ".join(cells))
+        out_lines.append("All missing values have been filled in.")
+        return "\n".join(out_lines)
+
+    # ------------------------------------------------------------------
+    # claim QA without evidence (headline numbers)
+    # ------------------------------------------------------------------
+    def _handle_claim_qa(self, prompt: str) -> str:
+        statement = ""
+        context = ""
+        for line in prompt.splitlines():
+            if line.startswith("Statement:"):
+                statement = line.partition(":")[2].strip()
+            elif line.startswith("Context:"):
+                context = line.partition(":")[2].strip()
+        rng = rng_for(self.seed, "claimqa", statement, context)
+        spec = self._parser.parse(statement)
+        memory = (
+            self.knowledge.recall_table(context or statement)
+            if self.knowledge is not None
+            else None
+        )
+        if spec is None or memory is None:
+            answer = rng.random() < 0.5
+            return (
+                f"Answer: {'true' if answer else 'false'}\n"
+                "Explanation: I am not certain about this statement."
+            )
+        result = self._reasoner.execute(spec, memory, rng)
+        if result.verdict is None:
+            answer = rng.random() < 0.5
+            explanation = "I could not ground every part of the statement."
+        else:
+            answer = result.verdict
+            explanation = "; ".join(result.trace) or "Based on what I recall."
+        return f"Answer: {'true' if answer else 'false'}\nExplanation: {explanation}"
+
+    # ------------------------------------------------------------------
+    # evidence-grounded verification
+    # ------------------------------------------------------------------
+    def _handle_verification(self, prompt: str) -> str:
+        sections = split_sections(prompt)
+        evidence = sections["evidence"]
+        data = sections["data"]
+        attribute = sections["attribute"]
+        context = sections["context"]
+        rng = rng_for(self.seed, "verify", evidence, data, attribute or "", context or "")
+
+        data_tuple = _parse_tuple_payload(data)
+        evidence_tuple = _parse_tuple_payload(evidence)
+        evidence_table = _parse_table_payload(evidence)
+
+        if data_tuple is not None:
+            if evidence_tuple is not None:
+                verdict, why = self._verify_tuple_vs_tuple(
+                    data_tuple, evidence_tuple, attribute, rng
+                )
+            elif evidence_table is not None:
+                verdict, why = self._verify_tuple_vs_table(
+                    data_tuple, evidence_table, attribute, rng
+                )
+            else:
+                verdict, why = self._verify_tuple_vs_text(
+                    data_tuple, evidence, attribute, rng
+                )
+        else:
+            if evidence_table is not None:
+                verdict, why = self._verify_claim_vs_table(
+                    data, context, evidence_table, rng
+                )
+            elif evidence_tuple is not None:
+                verdict, why = self._verify_claim_vs_tuple(
+                    data, evidence_tuple, rng
+                )
+            else:
+                verdict, why = self._verify_claim_vs_text(data, evidence, rng)
+        return f"Result: {verdict}\nExplanation: {why}"
+
+    # -- helpers --------------------------------------------------------
+    def _maybe_slip_relatedness(self, related: bool, rng: random.Random) -> bool:
+        if rng.random() < self.profile.relatedness_slip:
+            return not related
+        return related
+
+    @staticmethod
+    def _find_column(fields: Dict[str, str], name: str) -> Optional[str]:
+        target = normalize(name)
+        for column in fields:
+            if normalize(column) == target:
+                return column
+        target_tokens = set(analyze(name))
+        for column in fields:
+            if target_tokens and target_tokens <= set(analyze(column)):
+                return column
+        return None
+
+    @staticmethod
+    def _values_agree(a: str, b: str) -> bool:
+        num_a, num_b = parse_number(a), parse_number(b)
+        if num_a is not None and num_b is not None:
+            return abs(num_a - num_b) <= 1e-6 * max(abs(num_a), abs(num_b), 1.0)
+        return normalize(a) == normalize(b)
+
+    # -- (tuple, tuple) --------------------------------------------------
+    def _verify_tuple_vs_tuple(
+        self,
+        data: Dict[str, str],
+        evidence: Dict[str, str],
+        attribute: Optional[str],
+        rng: random.Random,
+    ) -> Tuple[str, str]:
+        target = attribute or ""
+        data_identity = [
+            value for column, value in data.items()
+            if normalize(column) != normalize(target)
+        ]
+        identity_tokens = set(analyze(" ".join(data_identity)))
+        evidence_tokens = set(analyze(" ".join(evidence.values())))
+        overlap = (
+            len(identity_tokens & evidence_tokens) / len(identity_tokens)
+            if identity_tokens
+            else 0.0
+        )
+        # the leading field of a tuple names its entity; the evidence must
+        # describe the *same* entity, not merely share attribute values
+        anchor_tokens: set = set()
+        for column, value in data.items():
+            if normalize(column) != normalize(target):
+                anchor_tokens = set(analyze(value))
+                break
+        anchor_overlap = (
+            len(anchor_tokens & evidence_tokens) / len(anchor_tokens)
+            if anchor_tokens
+            else 1.0
+        )
+        related = (
+            overlap >= self.profile.tuple_overlap_threshold
+            and anchor_overlap >= 0.6
+        )
+        related = self._maybe_slip_relatedness(related, rng)
+        if not related:
+            return NOT_RELATED, (
+                "The evidence tuple does not describe the same entity as the "
+                "generated tuple."
+            )
+        if not target:
+            # whole-tuple verification: every shared column must agree
+            disagreements = []
+            for column, value in data.items():
+                evidence_column = self._find_column(evidence, column)
+                if evidence_column is None:
+                    continue
+                if not self._values_agree(value, evidence[evidence_column]):
+                    disagreements.append(column)
+            if disagreements:
+                return REFUTED, f"Values disagree on: {', '.join(disagreements)}."
+            return VERIFIED, "All shared attributes agree with the evidence."
+        data_column = self._find_column(data, target)
+        evidence_column = self._find_column(evidence, target)
+        if data_column is None or evidence_column is None:
+            return NOT_RELATED, (
+                f"The evidence does not contain the attribute {target!r}."
+            )
+        agree = self._values_agree(data[data_column], evidence[evidence_column])
+        if rng.random() < self.profile.lookup_slip:
+            agree = not agree
+        if agree:
+            return VERIFIED, (
+                f"The evidence confirms {target} = {evidence[evidence_column]!r}."
+            )
+        return REFUTED, (
+            f"The evidence shows {target} = {evidence[evidence_column]!r}, not "
+            f"{data[data_column]!r}."
+        )
+
+    # -- (tuple, table) ---------------------------------------------------
+    def _verify_tuple_vs_table(
+        self,
+        data: Dict[str, str],
+        table: Table,
+        attribute: Optional[str],
+        rng: random.Random,
+    ) -> Tuple[str, str]:
+        # find the table row matching the tuple's identity, then defer to
+        # tuple-vs-tuple logic
+        identity = {
+            column: value
+            for column, value in data.items()
+            if normalize(column) != normalize(attribute or "")
+        }
+        best_row: Optional[Dict[str, str]] = None
+        best_score = 0.0
+        identity_tokens = set(analyze(" ".join(identity.values())))
+        for row in table.iter_rows():
+            row_tokens = set(analyze(" ".join(row.values)))
+            if not identity_tokens:
+                continue
+            score = len(identity_tokens & row_tokens) / len(identity_tokens)
+            if score > best_score:
+                best_score = score
+                best_row = row.as_dict()
+        if best_row is None or best_score < self.profile.tuple_overlap_threshold:
+            related = self._maybe_slip_relatedness(False, rng)
+            if not related:
+                return NOT_RELATED, "No row in the evidence table matches the tuple."
+            best_row = table.row(0).as_dict()
+        return self._verify_tuple_vs_tuple(data, best_row, attribute, rng)
+
+    # -- (tuple, text) ----------------------------------------------------
+    def _verify_tuple_vs_text(
+        self,
+        data: Dict[str, str],
+        text: str,
+        attribute: Optional[str],
+        rng: random.Random,
+    ) -> Tuple[str, str]:
+        target = attribute or ""
+        normalized_text = normalize(text)
+        text_tokens = set(analyze(text))
+        # relatedness: the passage must be *about* one of the tuple's
+        # identifying entities, not merely mention one in passing — the
+        # subject of a page is its title (first line), so anchor there
+        first_line, _, _ = text.partition("\n")
+        normalized_title = normalize(first_line)
+        identifying = [
+            value
+            for column, value in data.items()
+            if normalize(column) != normalize(target)
+            and parse_number(value) is None
+            and len(value) >= 4
+        ]
+        if normalized_title and normalized_title != normalized_text:
+            related = any(
+                normalize(value) in normalized_title for value in identifying
+            )
+        else:
+            related = any(
+                normalize(value) in normalized_text for value in identifying
+            )
+        related = self._maybe_slip_relatedness(related, rng)
+        if not related:
+            return NOT_RELATED, (
+                "The passage does not mention the entity described by the tuple."
+            )
+        data_column = self._find_column(data, target) if target else None
+        if target and data_column is None:
+            return NOT_RELATED, f"The tuple has no attribute {target!r}."
+        # does the passage discuss the target attribute's concept at all?
+        if target:
+            column_tokens = set(analyze(target))
+            if column_tokens and not column_tokens & text_tokens:
+                return NOT_RELATED, (
+                    f"The passage does not discuss the attribute {target!r}."
+                )
+            value = data[data_column]
+        else:
+            value = " ".join(data.values())
+        found = self._value_in_text(
+            value, text, normalized_text, column=target or None
+        )
+        if rng.random() < self.profile.extraction_slip:
+            found = not found
+        if found:
+            return VERIFIED, f"The passage states the value {value!r}."
+        return REFUTED, (
+            f"The passage discusses this attribute but does not support "
+            f"{value!r}."
+        )
+
+    @staticmethod
+    def _value_in_text(
+        value: str,
+        text: str,
+        normalized_text: str,
+        column: Optional[str] = None,
+    ) -> bool:
+        number = parse_number(value)
+        if number is None:
+            return normalize(value) in normalized_text
+        if not any(abs(n - number) <= 1e-9 for n in numbers_in(text)):
+            return False
+        # small numbers appear incidentally everywhere ("ohio 1"); a
+        # careful reader only counts them when the sentence actually
+        # discusses the attribute in question
+        if abs(number) >= 1000 or column is None:
+            return True
+        column_tokens = set(analyze(column))
+        if not column_tokens:
+            return True
+        from repro.text import sentences as split_sentences
+
+        for sentence in split_sentences(text):
+            sentence_numbers = numbers_in(sentence)
+            if any(abs(n - number) <= 1e-9 for n in sentence_numbers):
+                if column_tokens & set(analyze(sentence)):
+                    return True
+        return False
+
+    # -- (claim, table) ----------------------------------------------------
+    def _verify_claim_vs_table(
+        self,
+        claim_text: str,
+        context: Optional[str],
+        table: Table,
+        rng: random.Random,
+    ) -> Tuple[str, str]:
+        spec = self._parser.parse(claim_text)
+        scope = context or claim_text
+        scope_tokens = set(analyze(scope))
+        caption_tokens = set(analyze(table.caption))
+        caption_sim = jaccard(scope_tokens, caption_tokens)
+        scope_years = _years_in(scope)
+        caption_years = _years_in(table.caption)
+        years_compatible = (
+            not scope_years or not caption_years or bool(scope_years & caption_years)
+        )
+        related = caption_sim >= self.profile.caption_similarity_threshold
+        related = related and years_compatible
+        if related and spec is not None and spec.subject:
+            if self._reasoner._engine.resolve_row(table, spec.subject) is None:
+                related = False
+        related = self._maybe_slip_relatedness(related, rng)
+        if not related:
+            if not years_compatible:
+                why = (
+                    f"The evidence table is for {sorted(caption_years)}, but the "
+                    f"claim concerns {sorted(scope_years)}."
+                )
+            else:
+                why = "The evidence table does not cover the claim's scope."
+            return NOT_RELATED, why
+        if spec is None:
+            # lexical fallback: is the claim's content present in the table?
+            claim_tokens = set(analyze(claim_text))
+            table_tokens = set(analyze(table.caption)) | {
+                token
+                for row in table.rows
+                for cell in row
+                for token in analyze(cell)
+            }
+            coverage = (
+                len(claim_tokens & table_tokens) / len(claim_tokens)
+                if claim_tokens
+                else 0.0
+            )
+            if coverage >= 0.8 and rng.random() > self.profile.lookup_slip:
+                return VERIFIED, "The table mentions all parts of the claim."
+            return REFUTED, "Parts of the claim are not supported by the table."
+        result = self._reasoner.execute(spec, table, rng)
+        if result.verdict is None:
+            return NOT_RELATED, "; ".join(result.trace)
+        if result.verdict:
+            return VERIFIED, "; ".join(result.trace)
+        return REFUTED, "; ".join(result.trace)
+
+    # -- (claim, tuple) ----------------------------------------------------
+    def _verify_claim_vs_tuple(
+        self,
+        claim_text: str,
+        evidence: Dict[str, str],
+        rng: random.Random,
+    ) -> Tuple[str, str]:
+        spec = self._parser.parse(claim_text)
+        evidence_tokens = set(analyze(" ".join(evidence.values())))
+        if spec is None or spec.subject is None:
+            claim_tokens = set(analyze(claim_text))
+            overlap = (
+                len(claim_tokens & evidence_tokens) / len(claim_tokens)
+                if claim_tokens
+                else 0.0
+            )
+            if overlap < self.profile.tuple_overlap_threshold:
+                return NOT_RELATED, "The evidence tuple does not cover the claim."
+            return VERIFIED, "The evidence tuple mentions the claim's content."
+        subject_tokens = set(analyze(spec.subject))
+        if not subject_tokens or not subject_tokens <= evidence_tokens:
+            related = self._maybe_slip_relatedness(False, rng)
+            if not related:
+                return NOT_RELATED, (
+                    f"The evidence tuple is not about {spec.subject!r}."
+                )
+        column = self._find_column(evidence, spec.column)
+        if column is None or spec.value is None:
+            return NOT_RELATED, (
+                f"The evidence tuple has no attribute {spec.column!r}."
+            )
+        agree = self._values_agree(evidence[column], spec.value)
+        if rng.random() < self.profile.lookup_slip:
+            agree = not agree
+        if agree:
+            return VERIFIED, f"The tuple confirms {spec.column} = {spec.value!r}."
+        return REFUTED, (
+            f"The tuple shows {spec.column} = {evidence[column]!r}, not "
+            f"{spec.value!r}."
+        )
+
+    # -- (claim, text) — standard fact checking ----------------------------
+    def _verify_claim_vs_text(
+        self, claim_text: str, text: str, rng: random.Random
+    ) -> Tuple[str, str]:
+        normalized_text = normalize(text)
+        spec = self._parser.parse(claim_text)
+        subject = spec.subject if spec is not None else None
+        if subject and normalize(subject) not in normalized_text:
+            related = self._maybe_slip_relatedness(False, rng)
+            if not related:
+                return NOT_RELATED, f"The passage is not about {subject!r}."
+        if spec is not None and spec.value is not None:
+            found = self._value_in_text(
+                spec.value, text, normalized_text, column=spec.column
+            )
+            if rng.random() < self.profile.extraction_slip:
+                found = not found
+            if found:
+                return VERIFIED, f"The passage states {spec.value!r}."
+            return REFUTED, f"The passage does not support {spec.value!r}."
+        claim_tokens = set(analyze(claim_text))
+        text_tokens = set(analyze(text))
+        coverage = (
+            len(claim_tokens & text_tokens) / len(claim_tokens)
+            if claim_tokens
+            else 0.0
+        )
+        if coverage >= 0.8:
+            return VERIFIED, "The passage covers the full claim."
+        if coverage >= self.profile.tuple_overlap_threshold:
+            return REFUTED, "The passage contradicts or omits part of the claim."
+        return NOT_RELATED, "The passage does not discuss the claim."

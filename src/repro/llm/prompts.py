@@ -1,0 +1,175 @@
+"""Prompt templates and response parsers.
+
+The templates mirror Section 4 of the paper verbatim in structure (the
+tuple-completion prompt and the "Please use the evidence below..."
+verification prompt).  Because the simulated model answers in free text,
+both sides of the conversation go through real string parsing — the same
+brittleness boundary a production deployment has.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.datalake.serialize import serialize_row, serialize_table
+from repro.datalake.types import Row, Table
+
+COMPLETION_MARKER = "Please fill the missing values, annotated by NaN."
+VERIFICATION_MARKER = "Please use the evidence below to validate the generative data."
+CLAIM_QA_MARKER = "Answer with true or false."
+
+
+# ---------------------------------------------------------------------------
+# prompt builders
+# ---------------------------------------------------------------------------
+def tuple_completion_prompt(
+    caption: str,
+    columns: Tuple[str, ...],
+    rows: List[Tuple[str, ...]],
+) -> str:
+    """The paper's tuple-completion prompt (Section 4)."""
+    lines = [
+        "Question:",
+        f"Table name: {caption}",
+        " | ".join(columns),
+    ]
+    lines.extend(" | ".join(row) for row in rows)
+    lines.append(COMPLETION_MARKER)
+    return "\n".join(lines)
+
+
+def verification_prompt(
+    evidence: str,
+    data: str,
+    attribute: Optional[str] = None,
+    context: Optional[str] = None,
+) -> str:
+    """The paper's verification prompt (Section 4).
+
+    ``attribute`` narrows verification to one column (the paper's remark
+    on verification metadata); ``context`` names the scope of a claim.
+    """
+    lines = [
+        VERIFICATION_MARKER,
+        "Evidence:",
+        evidence,
+        "Generative Data:",
+        data,
+    ]
+    if attribute:
+        lines.append(f"Attribute to verify: {attribute}")
+    if context:
+        lines.append(f"Context: {context}")
+    lines.append("Result: Verified/Refuted/Not Related + Further explanation")
+    return "\n".join(lines)
+
+
+def claim_question_prompt(statement: str, context: str = "") -> str:
+    """Ask the model to judge a claim with no evidence (headline numbers)."""
+    lines = [
+        "Question: Is the following statement true or false?",
+        f"Statement: {statement}",
+    ]
+    if context:
+        lines.append(f"Context: {context}")
+    lines.append(CLAIM_QA_MARKER)
+    return "\n".join(lines)
+
+
+def evidence_text_for_row(row: Row) -> str:
+    """Serialize a tuple for the Evidence slot."""
+    return serialize_row(row)
+
+
+def evidence_text_for_table(table: Table, max_rows: Optional[int] = None) -> str:
+    """Serialize a table for the Evidence slot."""
+    return serialize_table(table, max_rows=max_rows)
+
+
+# ---------------------------------------------------------------------------
+# response parsers
+# ---------------------------------------------------------------------------
+_RESULT_RE = re.compile(
+    r"result\s*:\s*(verified|refuted|not related)", re.IGNORECASE
+)
+_ANSWER_RE = re.compile(r"answer\s*:\s*(true|false)", re.IGNORECASE)
+
+
+def parse_verification_response(text: str) -> Tuple[Optional[str], str]:
+    """Extract (verdict, explanation) from a verification response.
+
+    The verdict is one of ``"verified" | "refuted" | "not related"`` or
+    None when the response does not follow the format.
+    """
+    match = _RESULT_RE.search(text)
+    if not match:
+        return None, text.strip()
+    verdict = match.group(1).lower()
+    explanation = ""
+    for line in text.splitlines():
+        if line.lower().startswith("explanation:"):
+            explanation = line.partition(":")[2].strip()
+            break
+    return verdict, explanation
+
+
+def parse_boolean_response(text: str) -> Optional[bool]:
+    """Extract a true/false answer from a claim-QA response."""
+    match = _ANSWER_RE.search(text)
+    if not match:
+        return None
+    return match.group(1).lower() == "true"
+
+
+def parse_completed_table(
+    text: str,
+) -> Optional[Tuple[Tuple[str, ...], List[Tuple[str, ...]]]]:
+    """Parse a completed table (header + pipe-separated rows) from a
+    completion response; None when no table is found."""
+    lines = [line.strip() for line in text.splitlines() if " | " in line]
+    if len(lines) < 2:
+        return None
+    header = tuple(cell.strip() for cell in lines[0].split(" | "))
+    rows: List[Tuple[str, ...]] = []
+    for line in lines[1:]:
+        cells = tuple(cell.strip() for cell in line.split(" | "))
+        if len(cells) == len(header):
+            rows.append(cells)
+    if not rows:
+        return None
+    return header, rows
+
+
+# ---------------------------------------------------------------------------
+# prompt structure extraction (used by the simulated model itself)
+# ---------------------------------------------------------------------------
+def split_sections(prompt: str) -> dict:
+    """Split a verification prompt into its labelled sections."""
+    sections = {"evidence": "", "data": "", "attribute": None, "context": None}
+    current = None
+    body: dict = {"evidence": [], "data": []}
+    for line in prompt.splitlines():
+        stripped = line.strip()
+        if stripped == "Evidence:":
+            current = "evidence"
+            continue
+        if stripped == "Generative Data:":
+            current = "data"
+            continue
+        if stripped.startswith("Attribute to verify:"):
+            sections["attribute"] = stripped.partition(":")[2].strip()
+            current = None
+            continue
+        if stripped.startswith("Context:"):
+            sections["context"] = stripped.partition(":")[2].strip()
+            current = None
+            continue
+        if stripped.startswith("Result:"):
+            current = None
+            continue
+        if current is not None:
+            body[current].append(line)
+    sections["evidence"] = "\n".join(body["evidence"]).strip()
+    sections["data"] = "\n".join(body["data"]).strip()
+    return sections

@@ -1,0 +1,38 @@
+"""Plain-text result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table (floats to 2 decimals)."""
+    rendered_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.2f}")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(row[i]) for row in rendered_rows)
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(rendered_rows[0]))
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows[1:]:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Reranker interface.
+
+A reranker scores (query, candidate payload) pairs; payload resolution
+from instance ids happens through a caller-supplied fetch function so
+rerankers stay storage-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List, Sequence
+
+from repro.index.base import SearchHit
+
+
+class Reranker(abc.ABC):
+    """Scores a query against one candidate payload; higher is better."""
+
+    name: str = "reranker"
+
+    @abc.abstractmethod
+    def score(self, query: str, payload: str) -> float:
+        """Fine-grained relevance of ``payload`` to ``query``."""
+
+    def rerank(
+        self,
+        query: str,
+        candidates: Sequence[SearchHit],
+        fetch: Callable[[str], str],
+        k: int = 5,
+    ) -> List[SearchHit]:
+        """Re-score ``candidates`` and return the top ``k``.
+
+        ``fetch`` maps an instance id to its serialized payload.
+        """
+        scored = [
+            SearchHit(
+                score=self.score(query, fetch(hit.instance_id)),
+                instance_id=hit.instance_id,
+                index_name=self.name,
+            )
+            for hit in candidates
+        ]
+        scored.sort(key=lambda hit: (-hit.score, hit.instance_id))
+        return scored[: max(k, 0)]
+
+
+def rerank_hits(
+    reranker: Reranker,
+    query: str,
+    candidates: Sequence[SearchHit],
+    fetch: Callable[[str], str],
+    k: int = 5,
+) -> List[SearchHit]:
+    """Functional convenience wrapper around :meth:`Reranker.rerank`."""
+    return reranker.rerank(query, candidates, fetch, k)

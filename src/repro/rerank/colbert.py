@@ -1,0 +1,78 @@
+"""ColBERT-style late-interaction reranking for (text, text) pairs.
+
+Scoring is exactly ColBERT's MaxSim: embed every query token and every
+document token, then sum over query tokens the maximum cosine similarity
+against any document token.  Token embeddings come from the character
+n-gram :class:`~repro.embed.token_embed.TokenEmbedder`, so near-identical
+surface forms interact strongly while unrelated tokens stay near zero.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.embed.token_embed import TokenEmbedder
+from repro.rerank.base import Reranker
+from repro.text import analyze
+
+
+class LateInteractionReranker(Reranker):
+    """Sum-of-MaxSim late interaction scorer.
+
+    ``token_weight`` optionally weights each query token's MaxSim
+    contribution (e.g. by BM25 idf, so rare entity tokens dominate) —
+    the analogue of ColBERT learning to down-weight stopword-like
+    tokens.
+    """
+
+    name = "colbert"
+
+    def __init__(
+        self,
+        embedder: Optional[TokenEmbedder] = None,
+        normalize_by_query_length: bool = True,
+        cache_documents: bool = True,
+        token_weight: Optional[Callable[[str], float]] = None,
+    ) -> None:
+        self.embedder = embedder or TokenEmbedder(dim=64)
+        self.normalize_by_query_length = normalize_by_query_length
+        self.token_weight = token_weight
+        self._doc_cache: Optional[Dict[str, np.ndarray]] = (
+            {} if cache_documents else None
+        )
+
+    def _doc_matrix(self, payload: str) -> np.ndarray:
+        if self._doc_cache is not None:
+            cached = self._doc_cache.get(payload)
+            if cached is not None:
+                return cached
+        matrix = self.embedder.embed_text(payload)
+        if self._doc_cache is not None:
+            self._doc_cache[payload] = matrix
+        return matrix
+
+    def score(self, query: str, payload: str) -> float:
+        """MaxSim score of ``payload`` for ``query``."""
+        query_tokens = analyze(query)
+        query_matrix = self.embedder.embed_tokens(query_tokens)
+        doc_matrix = self._doc_matrix(payload)
+        if query_matrix.shape[0] == 0 or doc_matrix.shape[0] == 0:
+            return 0.0
+        # (num_query_tokens, num_doc_tokens) cosine table; embeddings are
+        # unit vectors so the inner product is the cosine
+        interactions = query_matrix @ doc_matrix.T
+        max_sims = interactions.max(axis=1)
+        if self.token_weight is not None:
+            weights = np.array(
+                [self.token_weight(token) for token in query_tokens]
+            )
+            total = float((max_sims * weights).sum())
+            denom = float(weights.sum()) or 1.0
+        else:
+            total = float(max_sims.sum())
+            denom = float(query_matrix.shape[0])
+        if self.normalize_by_query_length:
+            return total / denom
+        return total

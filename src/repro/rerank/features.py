@@ -1,0 +1,69 @@
+"""Generic feature-mixture reranker.
+
+A lightweight cross-scorer usable for any (text, anything-serialized)
+pair when no task-specific reranker applies — the extensibility point
+the paper's remark ("we are currently working on expanding our support
+for different types of fine-grained Rerankers") calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.rerank.base import Reranker
+from repro.text import analyze
+from repro.text.numbers import numbers_in
+from repro.text.similarity import jaccard, trigram_similarity
+
+
+@dataclass
+class FeatureWeights:
+    """Weights of the feature mixture (default roughly equal)."""
+
+    token_jaccard: float = 0.4
+    query_coverage: float = 0.4
+    trigram: float = 0.1
+    number_overlap: float = 0.1
+
+
+class FeatureReranker(Reranker):
+    """Mixture of cheap lexical features."""
+
+    name = "features"
+
+    def __init__(self, weights: FeatureWeights = FeatureWeights()) -> None:
+        self.weights = weights
+
+    def features(self, query: str, payload: str) -> Dict[str, float]:
+        """The raw feature values for a pair (useful for inspection)."""
+        query_tokens = set(analyze(query))
+        payload_tokens = set(analyze(payload))
+        coverage = (
+            len(query_tokens & payload_tokens) / len(query_tokens)
+            if query_tokens
+            else 0.0
+        )
+        query_numbers = set(numbers_in(query))
+        payload_numbers = set(numbers_in(payload))
+        number_overlap = (
+            len(query_numbers & payload_numbers) / len(query_numbers)
+            if query_numbers
+            else 0.0
+        )
+        return {
+            "token_jaccard": jaccard(query_tokens, payload_tokens),
+            "query_coverage": coverage,
+            "trigram": trigram_similarity(query[:200], payload[:200]),
+            "number_overlap": number_overlap,
+        }
+
+    def score(self, query: str, payload: str) -> float:
+        values = self.features(query, payload)
+        weights = self.weights
+        return (
+            weights.token_jaccard * values["token_jaccard"]
+            + weights.query_coverage * values["query_coverage"]
+            + weights.trigram * values["trigram"]
+            + weights.number_overlap * values["number_overlap"]
+        )

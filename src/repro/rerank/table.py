@@ -1,0 +1,98 @@
+"""OpenTFV-style (text, table) reranking.
+
+OpenTFV (Gu et al., SIGMOD 2022) retrieves and reranks tables for
+open-domain table fact verification.  This reranker scores a claim
+against a serialized table by mixing four signals:
+
+1. caption match — token overlap between the claim and the caption line;
+2. year agreement — a claim naming a year that the caption contradicts
+   is heavily penalized (the Figure 4 "E2 is for 1959" case);
+3. schema grounding — does the claim mention a column of the table;
+4. cell grounding — are the claim's entities/values present in cells.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.rerank.base import Reranker
+from repro.text import analyze
+from repro.text.numbers import numbers_in
+from repro.text.similarity import jaccard
+
+
+def _years(tokens_source: str) -> Set[int]:
+    return {
+        int(n)
+        for n in numbers_in(tokens_source)
+        if 1900 <= n <= 2100 and n == int(n)
+    }
+
+
+class TableReranker(Reranker):
+    """Claim-vs-table mixture scorer."""
+
+    name = "opentfv"
+
+    def __init__(
+        self,
+        caption_weight: float = 0.4,
+        schema_weight: float = 0.2,
+        cell_weight: float = 0.4,
+        year_penalty: float = 0.5,
+    ) -> None:
+        self.caption_weight = caption_weight
+        self.schema_weight = schema_weight
+        self.cell_weight = cell_weight
+        self.year_penalty = year_penalty
+
+    def score(self, query: str, payload: str) -> float:
+        """Score a claim against a serialized table (caption\\nheader\\nrows)."""
+        lines = payload.splitlines()
+        if not lines:
+            return 0.0
+        caption = lines[0] if " | " not in lines[0] else ""
+        header = ""
+        body_lines: List[str] = []
+        for line in lines[1:] if caption else lines:
+            if " | " in line and not header:
+                header = line
+            elif " | " in line:
+                body_lines.append(line)
+        claim_tokens = set(analyze(query))
+        if not claim_tokens:
+            return 0.0
+
+        caption_tokens = set(analyze(caption))
+        # fraction of the caption covered by the claim — a claim naming the
+        # table's full scope scores 1.0
+        caption_score = (
+            len(claim_tokens & caption_tokens) / len(caption_tokens)
+            if caption_tokens
+            else 0.0
+        )
+
+        header_tokens = set(analyze(header))
+        schema_score = (
+            len(claim_tokens & header_tokens) / len(header_tokens)
+            if header_tokens
+            else 0.0
+        )
+
+        cell_tokens = set(analyze(" ".join(body_lines)))
+        grounding = (
+            len(claim_tokens & (cell_tokens | caption_tokens | header_tokens))
+            / len(claim_tokens)
+        )
+
+        score = (
+            self.caption_weight * caption_score
+            + self.schema_weight * schema_score
+            + self.cell_weight * grounding
+        )
+
+        claim_years = _years(query)
+        caption_years = _years(caption)
+        if claim_years and caption_years and not claim_years & caption_years:
+            score -= self.year_penalty
+        return score

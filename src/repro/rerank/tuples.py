@@ -1,0 +1,68 @@
+"""(tuple, tuple) reranking — the RetClean case.
+
+Serialized tuples ('col: v ; col: v') are compared by schema-aligned
+value agreement: matching column names pair up their values, which are
+compared numeric-aware; unaligned content falls back to bag-of-token
+overlap.  This is the fine-grained signal a fine-tuned pair encoder
+learns for retrieval-based data cleaning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.rerank.base import Reranker
+from repro.text import analyze, normalize
+from repro.text.numbers import parse_number
+from repro.text.similarity import jaccard, levenshtein_ratio
+
+
+def parse_serialized_tuple(payload: str) -> Optional[Dict[str, str]]:
+    """Parse 'col: v ; col: v' into a mapping (None if not that shape)."""
+    if ": " not in payload:
+        return None
+    fields: Dict[str, str] = {}
+    for part in payload.split(" ; "):
+        column, sep, value = part.partition(": ")
+        if not sep:
+            return None
+        fields[column.strip()] = value.strip()
+    return fields or None
+
+
+def _value_similarity(a: str, b: str) -> float:
+    num_a, num_b = parse_number(a), parse_number(b)
+    if num_a is not None and num_b is not None:
+        if num_a == num_b:
+            return 1.0
+        denom = max(abs(num_a), abs(num_b), 1.0)
+        return max(0.0, 1.0 - abs(num_a - num_b) / denom)
+    return levenshtein_ratio(normalize(a), normalize(b))
+
+
+class TupleReranker(Reranker):
+    """Schema-aligned tuple pair scorer."""
+
+    name = "tuple-pair"
+
+    def __init__(self, aligned_weight: float = 0.7, bag_weight: float = 0.3) -> None:
+        self.aligned_weight = aligned_weight
+        self.bag_weight = bag_weight
+
+    def score(self, query: str, payload: str) -> float:
+        query_fields = parse_serialized_tuple(query)
+        payload_fields = parse_serialized_tuple(payload)
+        bag_score = jaccard(analyze(query), analyze(payload))
+        if not query_fields or not payload_fields:
+            return bag_score
+        payload_by_norm = {
+            normalize(column): value for column, value in payload_fields.items()
+        }
+        sims = []
+        for column, value in query_fields.items():
+            other = payload_by_norm.get(normalize(column))
+            if other is None:
+                continue
+            sims.append(_value_similarity(value, other))
+        aligned_score = sum(sims) / len(sims) if sims else 0.0
+        return self.aligned_weight * aligned_score + self.bag_weight * bag_score

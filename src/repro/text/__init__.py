@@ -1,0 +1,50 @@
+"""Text processing substrate: tokenization, stemming, and string similarity.
+
+Every retrieval and verification component in :mod:`repro` builds on the
+small, deterministic text toolkit in this package.  It replaces the
+off-the-shelf analyzers that the VerifAI paper delegates to Elasticsearch
+and BERT tokenizers.
+"""
+
+from repro.text.numbers import is_numeric_token, parse_number, numbers_in
+from repro.text.similarity import (
+    cosine_token_similarity,
+    jaccard,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_ratio,
+    ngrams,
+    trigram_similarity,
+)
+from repro.text.stem import stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tokenize import (
+    Token,
+    analyze,
+    normalize,
+    sentences,
+    tokenize,
+    tokenize_with_spans,
+)
+
+__all__ = [
+    "STOPWORDS",
+    "Token",
+    "analyze",
+    "cosine_token_similarity",
+    "is_numeric_token",
+    "is_stopword",
+    "jaccard",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_ratio",
+    "ngrams",
+    "normalize",
+    "numbers_in",
+    "parse_number",
+    "sentences",
+    "stem",
+    "tokenize",
+    "tokenize_with_spans",
+    "trigram_similarity",
+]

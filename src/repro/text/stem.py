@@ -1,0 +1,62 @@
+"""A light suffix-stripping stemmer.
+
+A full Porter stemmer is overkill for synthetic corpora and its aggressive
+conflation (e.g. "university" -> "univers") adds noise; this stemmer
+removes only the most common inflectional suffixes, which is what
+Elasticsearch's default ``english`` analyzer mostly contributes for the
+table/entity vocabulary the paper indexes.
+"""
+
+from __future__ import annotations
+
+_VOWELS = set("aeiou")
+
+
+def _has_vowel(word: str) -> bool:
+    return any(ch in _VOWELS for ch in word)
+
+
+def stem(word: str) -> str:
+    """Strip common inflectional suffixes from ``word``.
+
+    >>> stem("elections")
+    'election'
+    >>> stem("running")
+    'run'
+    >>> stem("cities")
+    'city'
+    """
+    if len(word) <= 3:
+        return word
+
+    # plural / possessive
+    if word.endswith("'s"):
+        word = word[:-2]
+    if word.endswith("ies") and len(word) > 4:
+        word = word[:-3] + "y"
+    elif word.endswith("sses"):
+        word = word[:-2]
+    elif word.endswith("s") and not word.endswith(("ss", "us", "is")):
+        word = word[:-1]
+
+    # -ing / -ed with a vowel remaining in the stem
+    for suffix in ("ing", "ed"):
+        if word.endswith(suffix) and _has_vowel(word[: -len(suffix)]):
+            stemmed = word[: -len(suffix)]
+            # undo doubled consonant: "running" -> "runn" -> "run"
+            if (
+                len(stemmed) >= 3
+                and stemmed[-1] == stemmed[-2]
+                and stemmed[-1] not in _VOWELS
+                and stemmed[-1] not in "lsz"
+            ):
+                stemmed = stemmed[:-1]
+            # restore silent e for short stems: "voted" -> "vot" -> "vote"
+            elif len(stemmed) >= 2 and stemmed[-1] not in _VOWELS and stemmed[-2] in _VOWELS:
+                pass
+            word = stemmed
+            break
+
+    if word.endswith("ly") and len(word) > 4:
+        word = word[:-2]
+    return word

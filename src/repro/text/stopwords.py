@@ -1,0 +1,20 @@
+"""English stopword list used by the content-based indexes.
+
+Kept deliberately small: aggressive stopword removal hurts recall for
+table serialization where short schema tokens carry signal.
+"""
+
+from __future__ import annotations
+
+STOPWORDS = frozenset(
+    """
+    a an and are as at be but by for from has have he her his if in into is
+    it its of on or she that the their there these they this to was were
+    which who will with
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Return True when ``token`` is on the stopword list."""
+    return token in STOPWORDS

@@ -1,0 +1,118 @@
+"""Tokenization and normalization.
+
+The tokenizer is intentionally simple and deterministic: lowercase,
+unicode-fold a handful of common punctuation variants, split on
+non-alphanumeric boundaries while keeping numbers (including decimals,
+thousand separators, and signed values) as single tokens.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.text.stem import stem
+from repro.text.stopwords import is_stopword
+
+# A token is either a number (optionally signed, with , . separators) or a
+# run of letters/digits.  Apostrophes inside words ("o'brien") are kept.
+_TOKEN_RE = re.compile(
+    r"""
+    [+-]?\d[\d,]*(?:\.\d+)?      # numbers: 12  1,234  -3.5  +7
+    | [a-z0-9]+(?:'[a-z]+)?      # words, optionally with an inner apostrophe
+    """,
+    re.VERBOSE,
+)
+
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with its character span in the source text."""
+
+    text: str
+    start: int
+    end: int
+
+
+def normalize(text: str) -> str:
+    """Lowercase, strip accents, and collapse whitespace.
+
+    >>> normalize("  Café\\tRenée ")
+    'cafe renee'
+    """
+    text = unicodedata.normalize("NFKD", text)
+    text = "".join(ch for ch in text if not unicodedata.combining(ch))
+    text = text.lower()
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into normalized tokens.
+
+    >>> tokenize("Meagan Good, 1,234 votes (51.2%)")
+    ['meagan', 'good', '1,234', 'votes', '51.2']
+    """
+    return [match.group(0) for match in _TOKEN_RE.finditer(normalize(text))]
+
+
+def tokenize_with_spans(text: str) -> List[Token]:
+    """Tokenize while preserving character offsets into the normalized text."""
+    normalized = normalize(text)
+    return [
+        Token(match.group(0), match.start(), match.end())
+        for match in _TOKEN_RE.finditer(normalized)
+    ]
+
+
+def analyze(
+    text: str,
+    remove_stopwords: bool = True,
+    stemming: bool = True,
+) -> List[str]:
+    """Full analysis chain used by the inverted index: tokenize, drop
+    stopwords, stem.
+
+    Numeric tokens are passed through unchanged so that values like
+    ``1,234`` remain searchable.
+    """
+    out: List[str] = []
+    for token in tokenize(text):
+        if remove_stopwords and is_stopword(token):
+            continue
+        if stemming and token[0].isalpha():
+            token = stem(token)
+        out.append(token)
+    return out
+
+
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9\"'])")
+
+
+def sentences(text: str) -> List[str]:
+    """Split raw (non-normalized) text into sentences.
+
+    Used by the text chunker to produce passage-sized units for the
+    semantic index.  Splitting is heuristic: sentence-final punctuation
+    followed by whitespace and an upper-case/numeric start.
+    """
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in _SENTENCE_RE.split(text) if part.strip()]
+
+
+def shingle(tokens: Iterable[str], size: int) -> List[str]:
+    """Produce contiguous token shingles (w-shingles) of ``size`` tokens."""
+    if size <= 0:
+        raise ValueError(f"shingle size must be positive, got {size}")
+    token_list = list(tokens)
+    if len(token_list) < size:
+        return [" ".join(token_list)] if token_list else []
+    return [
+        " ".join(token_list[i : i + size])
+        for i in range(len(token_list) - size + 1)
+    ]

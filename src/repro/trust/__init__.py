@@ -1,0 +1,25 @@
+"""Source-trust estimation (challenge C3).
+
+The paper points to Knowledge-Based Trust (Dong et al., VLDB 2015) for
+estimating the reliability of web sources; :class:`TrustModel` is the
+same fixed-point idea adapted to lake sources: source trust and fact
+truth are estimated jointly from agreement among verification outcomes.
+"""
+
+from repro.trust.model import (
+    Observation,
+    TrustModel,
+    TrustScores,
+    ValueClaim,
+    ValueTrustModel,
+    weighted_vote,
+)
+
+__all__ = [
+    "Observation",
+    "TrustModel",
+    "TrustScores",
+    "ValueClaim",
+    "ValueTrustModel",
+    "weighted_vote",
+]

@@ -1,0 +1,53 @@
+"""Verifier interface and outcome record."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datalake.types import DataInstance, instance_id_of
+from repro.verify.objects import DataObject
+from repro.verify.verdict import Verdict
+
+
+@dataclass(frozen=True)
+class VerificationOutcome:
+    """Result of one verify(g, x) call, with its explanation trail."""
+
+    verdict: Verdict
+    explanation: str
+    verifier: str
+    evidence_id: str
+
+    @property
+    def is_verified(self) -> bool:
+        return self.verdict is Verdict.VERIFIED
+
+    @property
+    def is_refuted(self) -> bool:
+        return self.verdict is Verdict.REFUTED
+
+
+class Verifier(abc.ABC):
+    """Maps a (data object, data instance) pair to a ternary verdict."""
+
+    name: str = "verifier"
+
+    @abc.abstractmethod
+    def verify(self, obj: DataObject, evidence: DataInstance) -> VerificationOutcome:
+        """Verify ``obj`` against one retrieved ``evidence`` instance."""
+
+    @abc.abstractmethod
+    def supports(self, obj: DataObject, evidence: DataInstance) -> bool:
+        """Whether this verifier handles the given pair type."""
+
+    def _outcome(
+        self, verdict: Verdict, explanation: str, evidence: DataInstance
+    ) -> VerificationOutcome:
+        return VerificationOutcome(
+            verdict=verdict,
+            explanation=explanation,
+            verifier=self.name,
+            evidence_id=instance_id_of(evidence),
+        )

@@ -1,0 +1,118 @@
+"""Local (text, knowledge-graph entity) verifier — a Section 5 prototype.
+
+The paper's open problems call for "local models that are specifically
+trained for certain use cases, such as (text, knowledge graph entity)".
+This verifier grounds a lookup-style claim in an entity's triples:
+
+* the claim's subject must match the entity's name (else NOT_RELATED);
+* the claim's column is matched against triple predicates by token
+  overlap (else NOT_RELATED — the entity doesn't record that relation);
+* the claimed value is compared against the matched triple's object
+  (numeric-aware) for VERIFIED / REFUTED.
+
+Non-lookup claims (aggregates, comparatives) cannot be grounded in a
+single entity and return NOT_RELATED.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.claims.model import ClaimOp
+from repro.claims.parser import ClaimParser
+from repro.datalake.kg import KGEntity
+from repro.datalake.types import DataInstance
+from repro.text import analyze, normalize
+from repro.text.numbers import numbers_equal, parse_number
+from repro.verify.base import VerificationOutcome, Verifier
+from repro.verify.objects import ClaimObject, DataObject
+from repro.verify.verdict import Verdict
+
+
+def _values_agree(a: str, b: str) -> bool:
+    num_a, num_b = parse_number(a), parse_number(b)
+    if num_a is not None and num_b is not None:
+        return numbers_equal(num_a, num_b)
+    return normalize(a) == normalize(b)
+
+
+class KGVerifier(Verifier):
+    """Triple-grounded claim verification."""
+
+    name = "kg"
+
+    def __init__(self, predicate_threshold: float = 0.5) -> None:
+        if not 0.0 < predicate_threshold <= 1.0:
+            raise ValueError("predicate_threshold must be in (0, 1]")
+        self.parser = ClaimParser(strict=False)
+        self.predicate_threshold = predicate_threshold
+
+    def supports(self, obj: DataObject, evidence: DataInstance) -> bool:
+        """KG verification handles (text, KG entity) pairs."""
+        return isinstance(obj, ClaimObject) and isinstance(evidence, KGEntity)
+
+    def _match_predicate(self, entity: KGEntity, column: str) -> Optional[str]:
+        target_tokens = set(analyze(column))
+        if not target_tokens:
+            return None
+        best_score = 0.0
+        best: Optional[str] = None
+        for triple in entity.triples:
+            predicate_tokens = set(analyze(triple.predicate))
+            if not predicate_tokens:
+                continue
+            union = target_tokens | predicate_tokens
+            score = len(target_tokens & predicate_tokens) / len(union)
+            if score > best_score:
+                best_score = score
+                best = triple.predicate
+        if best_score >= self.predicate_threshold:
+            return best
+        return None
+
+    def verify(self, obj: DataObject, evidence: DataInstance) -> VerificationOutcome:
+        if not self.supports(obj, evidence):
+            raise TypeError(
+                f"{self.name} verifies (text, KG entity) pairs, got "
+                f"({type(obj).__name__}, {type(evidence).__name__})"
+            )
+        assert isinstance(obj, ClaimObject) and isinstance(evidence, KGEntity)
+        spec = self.parser.parse(obj.text)
+        if spec is None or spec.op is not ClaimOp.LOOKUP:
+            return self._outcome(
+                Verdict.NOT_RELATED,
+                "only lookup claims can be grounded in a single entity",
+                evidence,
+            )
+        assert spec.subject is not None and spec.value is not None
+        if normalize(spec.subject) != normalize(evidence.name):
+            return self._outcome(
+                Verdict.NOT_RELATED,
+                f"the entity {evidence.name!r} is not the claim's subject "
+                f"{spec.subject!r}",
+                evidence,
+            )
+        predicate = self._match_predicate(evidence, spec.column)
+        if predicate is None:
+            return self._outcome(
+                Verdict.NOT_RELATED,
+                f"no triple of {evidence.name!r} records {spec.column!r}",
+                evidence,
+            )
+        objects = [
+            t.obj for t in evidence.triples
+            if t.predicate == predicate
+        ]
+        if any(_values_agree(value, spec.value) for value in objects):
+            return self._outcome(
+                Verdict.VERIFIED,
+                f"triple ({evidence.name}, {predicate}, {objects[0]}) "
+                "supports the claim",
+                evidence,
+            )
+        return self._outcome(
+            Verdict.REFUTED,
+            f"the graph records {predicate} = {objects[0]!r}, not "
+            f"{spec.value!r}",
+            evidence,
+        )

@@ -1,0 +1,46 @@
+"""Generated data objects — the things VerifAI verifies.
+
+Per Section 2, a *data object* is something a generative model produced:
+a (partially) generated tuple, or generated text (a claim/answer).  The
+optional verification metadata ("the verification requirement could be
+... on a specific column") lives on the object as ``attribute``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.datalake.serialize import serialize_row
+from repro.datalake.types import Row
+
+
+@dataclass(frozen=True)
+class TupleObject:
+    """A generated/imputed tuple, optionally scoped to one attribute."""
+
+    object_id: str
+    row: Row
+    attribute: Optional[str] = None
+
+    def query_text(self) -> str:
+        """Serialized form used for retrieval and prompting."""
+        return serialize_row(self.row)
+
+
+@dataclass(frozen=True)
+class ClaimObject:
+    """Generated text to verify (a claim or an answer sentence)."""
+
+    object_id: str
+    text: str
+    context: str = ""
+
+    def query_text(self) -> str:
+        """Text used for retrieval (claim plus its scope context)."""
+        if self.context:
+            return f"{self.text} ({self.context})"
+        return self.text
+
+
+DataObject = Union[TupleObject, ClaimObject]

@@ -1,0 +1,102 @@
+"""PASTA-style local (text, table) verifier.
+
+PASTA (Gu et al., EMNLP 2022) is pre-trained on sentence-table cloze
+tasks over table operations and fine-tuned for binary fact verification.
+The stand-in mirrors its operating profile:
+
+* **in-distribution strength** — claims phrased in the canonical
+  template grammar parse into table operations that are executed
+  *exactly* (no arithmetic slips; a specialist model beats a generalist
+  on its training distribution);
+* **binary output** — only true/false; it cannot say NOT_RELATED;
+* **OOD brittleness** — claims outside the strict grammar, or evidence
+  tables the claim cannot be grounded in, fall back to a lexical
+  entailment heuristic (high token overlap -> "true"), which is how a
+  binary model trained only on relevant tables behaves on irrelevant
+  ones.
+"""
+
+from __future__ import annotations
+
+from repro.claims.engine import TableQueryEngine
+from repro.claims.parser import ClaimParser
+from repro.datalake.types import DataInstance, Table
+from repro.llm.knowledge import rng_for
+from repro.text import analyze
+from repro.verify.base import VerificationOutcome, Verifier
+from repro.verify.objects import ClaimObject, DataObject
+from repro.verify.verdict import Verdict
+
+
+class PastaVerifier(Verifier):
+    """Table-operations-aware fact verifier (binary)."""
+
+    name = "pasta"
+
+    def __init__(
+        self,
+        lexical_true_threshold: float = 0.7,
+        model_noise: float = 0.03,
+        seed: int = 7,
+    ) -> None:
+        if not 0.0 <= lexical_true_threshold <= 1.0:
+            raise ValueError("lexical_true_threshold must be in [0, 1]")
+        if not 0.0 <= model_noise <= 1.0:
+            raise ValueError("model_noise must be in [0, 1]")
+        self.parser = ClaimParser(strict=True)
+        self.engine = TableQueryEngine()
+        self.lexical_true_threshold = lexical_true_threshold
+        self.model_noise = model_noise
+        self.seed = seed
+
+    def supports(self, obj: DataObject, evidence: DataInstance) -> bool:
+        """PASTA handles (text, table) pairs only."""
+        return isinstance(obj, ClaimObject) and isinstance(evidence, Table)
+
+    def _lexical_fallback(self, claim_text: str, table: Table) -> Verdict:
+        """OOD behaviour: entailment-by-overlap, forced binary."""
+        claim_tokens = set(analyze(claim_text))
+        if not claim_tokens:
+            return Verdict.REFUTED
+        table_tokens = set(analyze(table.caption))
+        for column in table.columns:
+            table_tokens.update(analyze(column))
+        for row in table.rows:
+            for cell in row:
+                table_tokens.update(analyze(cell))
+        coverage = len(claim_tokens & table_tokens) / len(claim_tokens)
+        if coverage >= self.lexical_true_threshold:
+            return Verdict.VERIFIED
+        return Verdict.REFUTED
+
+    def verify(self, obj: DataObject, evidence: DataInstance) -> VerificationOutcome:
+        if not self.supports(obj, evidence):
+            raise TypeError(
+                f"{self.name} verifies (text, table) pairs, got "
+                f"({type(obj).__name__}, {type(evidence).__name__})"
+            )
+        assert isinstance(obj, ClaimObject) and isinstance(evidence, Table)
+        rng = rng_for(self.seed, "pasta", obj.text, evidence.table_id)
+        spec = self.parser.parse(obj.text)
+        if spec is None:
+            verdict = self._lexical_fallback(obj.text, evidence)
+            return self._outcome(
+                verdict,
+                "claim outside the template grammar; lexical entailment "
+                f"heuristic -> {verdict}",
+                evidence,
+            )
+        result = self.engine.execute(spec, evidence)
+        if result.verdict is None:
+            verdict = self._lexical_fallback(obj.text, evidence)
+            return self._outcome(
+                verdict,
+                "claim not groundable in this table; lexical entailment "
+                f"heuristic -> {verdict} ({'; '.join(result.trace)})",
+                evidence,
+            )
+        verdict_bool = result.verdict
+        if rng.random() < self.model_noise:
+            verdict_bool = not verdict_bool  # residual model error
+        verdict = Verdict.VERIFIED if verdict_bool else Verdict.REFUTED
+        return self._outcome(verdict, "; ".join(result.trace), evidence)

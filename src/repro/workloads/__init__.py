@@ -1,0 +1,44 @@
+"""Synthetic multi-modal corpus and evaluation workloads.
+
+The paper's lake (19,498 tables / 269,622 tuples / 13,796 wiki text
+files from TabFact and WikiTable-TURL) is not redistributable offline, so
+this package generates an equivalent corpus with the three properties the
+evaluation relies on:
+
+1. every tuple needing verification has exactly one complete counterpart
+   in the lake (relevance ground truth for tuple→tuple retrieval);
+2. entity-valued cells link to wiki-style text pages (ground truth for
+   tuple→text retrieval);
+3. every textual claim is grounded in exactly one table (ground truth
+   for claim→table retrieval).
+
+Everything is seeded and deterministic.
+"""
+
+from repro.workloads.builder import LakeBundle, LakeConfig, build_lake
+from repro.workloads.claimwl import ClaimTask, ClaimWorkload, build_claim_workload
+from repro.workloads.tables import DOMAINS, WebTableGenerator
+from repro.workloads.textgen import EntityPageGenerator
+from repro.workloads.tuplecomp import (
+    TupleCompletionTask,
+    TupleCompletionWorkload,
+    build_tuple_workload,
+)
+from repro.workloads.vocab import EntityNamer, Vocabulary
+
+__all__ = [
+    "DOMAINS",
+    "ClaimTask",
+    "ClaimWorkload",
+    "EntityNamer",
+    "EntityPageGenerator",
+    "LakeBundle",
+    "LakeConfig",
+    "TupleCompletionTask",
+    "TupleCompletionWorkload",
+    "Vocabulary",
+    "WebTableGenerator",
+    "build_claim_workload",
+    "build_lake",
+    "build_tuple_workload",
+]

@@ -1,0 +1,80 @@
+"""Textual-claim workload (Section 4, "Textual claims in need of verification").
+
+TabFact-style claims generated from lake tables, each grounded in exactly
+one table — "we consider the corresponding table to be relevant evidence,
+while the remaining tables are considered irrelevant."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.claims.generator import ClaimGenerator
+from repro.claims.model import Claim
+from repro.workloads.builder import LakeBundle
+
+
+@dataclass(frozen=True)
+class ClaimTask:
+    """One claim with its gold label and source table."""
+
+    claim: Claim
+    label: bool          # True = entailed by the source table
+    table_id: str        # the single relevant table
+
+
+@dataclass
+class ClaimWorkload:
+    """A batch of claim-verification tasks."""
+
+    tasks: List[ClaimTask]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    @property
+    def positive_fraction(self) -> float:
+        if not self.tasks:
+            return 0.0
+        return sum(1 for t in self.tasks if t.label) / len(self.tasks)
+
+
+def build_claim_workload(
+    bundle: LakeBundle,
+    num_claims: int = 200,
+    seed: int = 43,
+    claims_per_table: int = 2,
+    variation_rate: float = 0.2,
+) -> ClaimWorkload:
+    """Generate ``num_claims`` labelled claims over the bundle's tables.
+
+    ``variation_rate`` paraphrases that fraction of claims outside the
+    canonical template grammar (exercising verifier generalization).
+    """
+    if num_claims < 0:
+        raise ValueError(f"num_claims must be >= 0, got {num_claims}")
+    rng = random.Random(seed)
+    tables = list(bundle.tables)
+    rng.shuffle(tables)
+    generator = ClaimGenerator(seed=seed, variation_rate=variation_rate)
+    tasks: List[ClaimTask] = []
+    for table in tables:
+        if len(tasks) >= num_claims:
+            break
+        remaining = num_claims - len(tasks)
+        for generated in generator.generate_for_table(
+            table, min(claims_per_table, remaining)
+        ):
+            tasks.append(
+                ClaimTask(
+                    claim=generated.claim,
+                    label=generated.label,
+                    table_id=generated.table_id,
+                )
+            )
+    return ClaimWorkload(tasks=tasks)

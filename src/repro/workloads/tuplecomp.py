@@ -1,0 +1,97 @@
+"""Tuple-completion workload (Section 4, "Tuples in need of verification").
+
+The paper samples web-table tuples, blanks a non-key cell, asks the
+generative model to impute it, and verifies the imputed value.  A
+:class:`TupleCompletionTask` carries the original row (the ground-truth
+counterpart that remains in the lake), the blanked column, and the true
+value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.datalake.types import Row
+from repro.workloads.builder import LakeBundle
+
+# columns that uniquely identify the row are never blanked; neither are
+# entity name columns (imputing an entity name is entity resolution, not
+# value completion)
+_NEVER_BLANK_KINDS = ("key",)
+
+
+@dataclass(frozen=True)
+class TupleCompletionTask:
+    """One tuple with a blanked non-key cell."""
+
+    task_id: str
+    row: Row            # the original, complete tuple (stays in the lake)
+    column: str         # the blanked attribute
+    true_value: str     # ground truth for the blank
+
+    def masked_row(self, placeholder: str = "NaN") -> Row:
+        """The row as the generative model sees it (value blanked)."""
+        return self.row.replace_value(self.column, placeholder)
+
+    def completed_row(self, value: str) -> Row:
+        """The row with an imputed value substituted."""
+        return self.row.replace_value(self.column, value)
+
+
+@dataclass
+class TupleCompletionWorkload:
+    """A batch of tuple-completion tasks."""
+
+    tasks: List[TupleCompletionTask]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+
+def build_tuple_workload(
+    bundle: LakeBundle,
+    num_tasks: int = 100,
+    seed: int = 42,
+    blankable_columns: Optional[Sequence[str]] = None,
+) -> TupleCompletionWorkload:
+    """Sample ``num_tasks`` tuples from the lake and blank one cell each.
+
+    By default any non-key, non-entity column may be blanked (mirroring
+    "randomly removed a non-key attribute cell value").
+    """
+    if num_tasks < 0:
+        raise ValueError(f"num_tasks must be >= 0, got {num_tasks}")
+    rng = random.Random(seed)
+    candidates = []
+    for table in bundle.tables:
+        protected = {table.key_column} | set(table.entity_columns)
+        columns = [c for c in table.columns if c not in protected]
+        if blankable_columns is not None:
+            columns = [c for c in columns if c in blankable_columns]
+        if not columns:
+            continue
+        for row_index in range(table.num_rows):
+            candidates.append((table.table_id, row_index, columns))
+    if not candidates:
+        return TupleCompletionWorkload(tasks=[])
+    chosen = rng.sample(candidates, min(num_tasks, len(candidates)))
+    tasks: List[TupleCompletionTask] = []
+    for task_index, (table_id, row_index, columns) in enumerate(chosen):
+        row = bundle.lake.table(table_id).row(row_index)
+        column = rng.choice(columns)
+        true_value = row.get(column)
+        assert true_value is not None
+        tasks.append(
+            TupleCompletionTask(
+                task_id=f"tc-{task_index:04d}",
+                row=row,
+                column=column,
+                true_value=true_value,
+            )
+        )
+    return TupleCompletionWorkload(tasks=tasks)

@@ -1,0 +1,133 @@
+"""Shared test fixtures: a tiny hand-written lake and a small synthetic
+bundle, both session-scoped (construction is deterministic)."""
+
+import pytest
+
+from repro.datalake.lake import DataLake
+from repro.datalake.types import Source, Table, TextDocument
+from repro.workloads.builder import LakeConfig, build_lake
+
+
+@pytest.fixture(scope="session")
+def election_table():
+    """A small, fully hand-written election table."""
+    return Table(
+        table_id="t-ohio-1950",
+        caption="united states house of representatives elections in ohio 1950",
+        columns=("district", "incumbent", "party", "first elected",
+                 "result", "votes"),
+        rows=[
+            ("ohio 1", "tom jenkins", "republican", "1946", "re-elected", "102,000"),
+            ("ohio 2", "bill hess", "republican", "1944", "re-elected", "85,500"),
+            ("ohio 3", "paul brown", "democratic", "1948", "retired", "70,250"),
+            ("ohio 4", "anne clark", "democratic", "1940", "lost re-election",
+             "64,000"),
+        ],
+        source=Source("tabfact"),
+        entity_columns=("incumbent", "district"),
+        key_column="district",
+        metadata={"domain": "elections", "state": "ohio", "year": 1950},
+    )
+
+
+@pytest.fixture(scope="session")
+def medal_table():
+    """A small medal table with clean aggregates."""
+    return Table(
+        table_id="t-games-1960",
+        caption="1960 summer games in lakeview medal table",
+        columns=("nation", "gold", "silver", "bronze", "total"),
+        rows=[
+            ("valoria", "10", "5", "3", "18"),
+            ("norwind", "7", "9", "2", "18"),
+            ("suthmark", "2", "4", "11", "17"),
+        ],
+        source=Source("tabfact"),
+        entity_columns=("nation",),
+        key_column="nation",
+        metadata={"domain": "olympics", "year": 1960},
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_lake(election_table, medal_table):
+    """A lake with two tables and two entity pages."""
+    lake = DataLake(name="tiny")
+    lake.add_table(election_table)
+    lake.add_table(medal_table)
+    lake.add_document(
+        TextDocument(
+            doc_id="page-jenkins",
+            title="Tom Jenkins",
+            text=(
+                "Tom Jenkins is an american politician of the republican "
+                "party. Tom Jenkins represented the ohio 1 district and was "
+                "first elected in 1946. In the 1950 election in ohio, Tom "
+                "Jenkins was re-elected with 102,000 votes."
+            ),
+            source=Source("wikipages"),
+            entity="tom jenkins",
+        )
+    )
+    lake.add_document(
+        TextDocument(
+            doc_id="page-valoria",
+            title="Valoria",
+            text=(
+                "At the 1960 summer games, Valoria won 10 gold, 5 silver, "
+                "and 3 bronze medals for a total of 18."
+            ),
+            source=Source("wikipages"),
+            entity="valoria",
+        )
+    )
+    return lake
+
+
+@pytest.fixture(scope="session")
+def small_bundle():
+    """A small generated bundle shared across integration tests."""
+    return build_lake(LakeConfig(num_tables=60, seed=11))
+
+
+@pytest.fixture(scope="session")
+def tiny_experiment_context():
+    """A miniature experiment context shared by integration tests."""
+    from repro.core.pipeline import VerifAI
+    from repro.experiments.setup import ExperimentContext, _generate_completions
+    from repro.llm.knowledge import WorldKnowledge
+    from repro.llm.model import SimulatedLLM
+    from repro.workloads.claimwl import build_claim_workload
+    from repro.workloads.tuplecomp import build_tuple_workload
+
+    bundle = build_lake(LakeConfig(num_tables=40, seed=21))
+    tuple_workload = build_tuple_workload(bundle, num_tasks=15, seed=22)
+    claim_workload = build_claim_workload(bundle, num_claims=30, seed=23)
+    knowledge = WorldKnowledge(bundle.tables, seed=24)
+    generator = SimulatedLLM(knowledge=knowledge, seed=25)
+    verifier_llm = SimulatedLLM(knowledge=None, seed=26)
+    system = VerifAI(bundle.lake, llm=verifier_llm).build_indexes()
+    return ExperimentContext(
+        scale="tiny",
+        bundle=bundle,
+        tuple_workload=tuple_workload,
+        claim_workload=claim_workload,
+        generator=generator,
+        verifier_llm=verifier_llm,
+        system=system,
+        generated=_generate_completions(bundle, tuple_workload, generator),
+    )
+
+
+@pytest.fixture(scope="session")
+def quiet_profile():
+    """An LLM profile with every slip disabled (deterministic reasoning)."""
+    from repro.llm.profile import LLMProfile
+
+    return LLMProfile(
+        arithmetic_slip=0.0,
+        lookup_slip=0.0,
+        binding_slip=0.0,
+        extraction_slip=0.0,
+        relatedness_slip=0.0,
+    )

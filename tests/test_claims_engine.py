@@ -1,0 +1,196 @@
+"""Exact claim execution against tables."""
+
+import pytest
+
+from repro.claims.engine import TableQueryEngine
+from repro.claims.model import Aggregate, Claim, ClaimOp, ClaimSpec, Comparison
+
+engine = TableQueryEngine()
+
+
+def lookup(column, subject, value):
+    return ClaimSpec(op=ClaimOp.LOOKUP, column=column, subject=subject, value=value)
+
+
+class TestResolution:
+    def test_exact_column(self, election_table):
+        assert engine.resolve_column(election_table, "party") == "party"
+
+    def test_fuzzy_column(self, election_table):
+        assert engine.resolve_column(election_table, "first elected year") == (
+            "first elected"
+        )
+
+    def test_missing_column(self, election_table):
+        assert engine.resolve_column(election_table, "population") is None
+
+    def test_exact_row_by_key(self, election_table):
+        row = engine.resolve_row(election_table, "ohio 2")
+        assert row.get("incumbent") == "bill hess"
+
+    def test_row_by_entity_column(self, election_table):
+        row = engine.resolve_row(election_table, "anne clark")
+        assert row.get("district") == "ohio 4"
+
+    def test_missing_row(self, election_table):
+        assert engine.resolve_row(election_table, "texas 9") is None
+
+
+class TestValuesMatch:
+    def test_numeric_formats(self):
+        assert TableQueryEngine.values_match("102,000", "102000")
+
+    def test_string_normalized(self):
+        assert TableQueryEngine.values_match("Re-Elected", "re-elected")
+
+    def test_mismatch(self):
+        assert not TableQueryEngine.values_match("republican", "democratic")
+
+
+class TestLookupOp:
+    def test_true(self, election_table):
+        result = engine.execute(lookup("party", "ohio 1", "republican"), election_table)
+        assert result.verdict is True
+        assert result.trace
+
+    def test_false(self, election_table):
+        result = engine.execute(lookup("party", "ohio 1", "democratic"), election_table)
+        assert result.verdict is False
+
+    def test_numeric_value(self, election_table):
+        result = engine.execute(lookup("votes", "ohio 1", "102000"), election_table)
+        assert result.verdict is True
+
+    def test_unknown_subject_not_executable(self, election_table):
+        result = engine.execute(lookup("party", "texas 1", "republican"), election_table)
+        assert result.verdict is None
+        assert not result.executable
+
+    def test_unknown_column_not_executable(self, election_table):
+        result = engine.execute(lookup("salary", "ohio 1", "x"), election_table)
+        assert result.verdict is None
+
+
+class TestCompareOp:
+    def make(self, a, b, direction):
+        return ClaimSpec(
+            op=ClaimOp.COMPARE, column="gold", subject=a, subject_b=b,
+            comparison=direction,
+        )
+
+    def test_true_higher(self, medal_table):
+        result = engine.execute(self.make("valoria", "norwind", Comparison.HIGHER),
+                                medal_table)
+        assert result.verdict is True
+
+    def test_false_higher(self, medal_table):
+        result = engine.execute(self.make("suthmark", "valoria", Comparison.HIGHER),
+                                medal_table)
+        assert result.verdict is False
+
+    def test_lower(self, medal_table):
+        result = engine.execute(self.make("suthmark", "valoria", Comparison.LOWER),
+                                medal_table)
+        assert result.verdict is True
+
+    def test_non_numeric_column(self, election_table):
+        spec = ClaimSpec(
+            op=ClaimOp.COMPARE, column="result", subject="ohio 1",
+            subject_b="ohio 2", comparison=Comparison.HIGHER,
+        )
+        assert engine.execute(spec, election_table).verdict is None
+
+
+class TestAggregateOp:
+    def make(self, aggregate, value, column="gold"):
+        return ClaimSpec(
+            op=ClaimOp.AGGREGATE, column=column, aggregate=aggregate, value=value,
+        )
+
+    def test_sum_true(self, medal_table):
+        assert engine.execute(self.make(Aggregate.SUM, "19"), medal_table).verdict
+
+    def test_sum_false(self, medal_table):
+        assert engine.execute(self.make(Aggregate.SUM, "99"), medal_table).verdict is False
+
+    def test_avg(self, medal_table):
+        result = engine.execute(self.make(Aggregate.AVG, "6.33"), medal_table)
+        assert result.verdict is True  # 19/3 within the 0.5% tolerance
+
+    def test_min_max(self, medal_table):
+        assert engine.execute(self.make(Aggregate.MIN, "2"), medal_table).verdict
+        assert engine.execute(self.make(Aggregate.MAX, "10"), medal_table).verdict
+
+    def test_non_numeric_claim_value(self, medal_table):
+        assert engine.execute(self.make(Aggregate.SUM, "many"), medal_table).verdict is None
+
+    def test_non_numeric_column(self, election_table):
+        spec = self.make(Aggregate.SUM, "4", column="result")
+        assert engine.execute(spec, election_table).verdict is None
+
+
+class TestSuperlativeOp:
+    def make(self, subject, direction, column="gold"):
+        return ClaimSpec(
+            op=ClaimOp.SUPERLATIVE, column=column, subject=subject,
+            comparison=direction,
+        )
+
+    def test_highest_true(self, medal_table):
+        assert engine.execute(self.make("valoria", Comparison.HIGHER), medal_table).verdict
+
+    def test_highest_false(self, medal_table):
+        assert engine.execute(
+            self.make("suthmark", Comparison.HIGHER), medal_table
+        ).verdict is False
+
+    def test_lowest(self, medal_table):
+        assert engine.execute(self.make("suthmark", Comparison.LOWER), medal_table).verdict
+
+    def test_unknown_subject(self, medal_table):
+        assert engine.execute(
+            self.make("atlantis", Comparison.HIGHER), medal_table
+        ).verdict is None
+
+
+class TestCountOp:
+    def make(self, column, value, count):
+        return ClaimSpec(op=ClaimOp.COUNT, column=column, value=value, count=count)
+
+    def test_true(self, election_table):
+        assert engine.execute(
+            self.make("party", "republican", 2), election_table
+        ).verdict is True
+
+    def test_false(self, election_table):
+        assert engine.execute(
+            self.make("party", "republican", 3), election_table
+        ).verdict is False
+
+    def test_zero_count(self, election_table):
+        assert engine.execute(
+            self.make("party", "independent", 0), election_table
+        ).verdict is True
+
+
+class TestSpecValidation:
+    def test_lookup_requires_subject_and_value(self):
+        with pytest.raises(ValueError):
+            ClaimSpec(op=ClaimOp.LOOKUP, column="c")
+
+    def test_compare_requires_two_subjects(self):
+        with pytest.raises(ValueError):
+            ClaimSpec(op=ClaimOp.COMPARE, column="c", subject="a")
+
+    def test_aggregate_requires_value(self):
+        with pytest.raises(ValueError):
+            ClaimSpec(op=ClaimOp.AGGREGATE, column="c", aggregate=Aggregate.SUM)
+
+    def test_count_requires_count(self):
+        with pytest.raises(ValueError):
+            ClaimSpec(op=ClaimOp.COUNT, column="c", value="v")
+
+    def test_claim_full_text(self):
+        claim = Claim("c1", "some claim", context="scope")
+        assert claim.full_text == "some claim (scope)"
+        assert Claim("c2", "bare").full_text == "bare"

@@ -1,0 +1,153 @@
+"""Claim parsing: broad and strict grammars, all five operation classes."""
+
+import pytest
+
+from repro.claims.model import Aggregate, ClaimOp, Comparison
+from repro.claims.parser import ClaimParser
+
+broad = ClaimParser()
+strict = ClaimParser(strict=True)
+
+
+class TestLookup:
+    def test_canonical(self):
+        spec = broad.parse("the party of tom jenkins is republican")
+        assert spec.op is ClaimOp.LOOKUP
+        assert spec.column == "party"
+        assert spec.subject == "tom jenkins"
+        assert spec.value == "republican"
+
+    def test_has_form(self):
+        spec = broad.parse("tom jenkins has a party of republican")
+        assert spec.op is ClaimOp.LOOKUP
+        assert spec.subject == "tom jenkins"
+
+    def test_reversed_form_broad_only(self):
+        text = "republican is the party of tom jenkins"
+        assert broad.parse(text) is not None
+        assert strict.parse(text) is None
+
+    def test_was_past_tense(self):
+        spec = broad.parse("the result of ohio 1 was re-elected")
+        assert spec.op is ClaimOp.LOOKUP
+        assert spec.value == "re-elected"
+
+    def test_multiword_column(self):
+        spec = broad.parse("the first elected of ohio 2 is 1944")
+        assert spec.column == "first elected"
+
+
+class TestCompare:
+    def test_canonical_higher(self):
+        spec = broad.parse("valoria has a higher gold than norwind")
+        assert spec.op is ClaimOp.COMPARE
+        assert spec.comparison is Comparison.HIGHER
+        assert spec.subject == "valoria"
+        assert spec.subject_b == "norwind"
+
+    def test_canonical_lower(self):
+        spec = broad.parse("norwind has a lower total than valoria")
+        assert spec.comparison is Comparison.LOWER
+
+    def test_variant_broad_only(self):
+        text = "valoria recorded a greater gold than norwind"
+        assert broad.parse(text).op is ClaimOp.COMPARE
+        assert strict.parse(text) is None
+
+
+class TestAggregate:
+    def test_total_with_scope(self):
+        spec = broad.parse("the total gold in 1960 summer games is 19")
+        assert spec.op is ClaimOp.AGGREGATE
+        assert spec.aggregate is Aggregate.SUM
+        assert spec.column == "gold"
+        assert spec.value == "19"
+
+    def test_average_without_scope(self):
+        spec = broad.parse("the average votes is 80,437.5")
+        assert spec.aggregate is Aggregate.AVG
+
+    def test_min_max(self):
+        assert broad.parse("the minimum gold is 2").aggregate is Aggregate.MIN
+        assert broad.parse("the maximum gold is 10").aggregate is Aggregate.MAX
+
+    def test_combined_variant_broad_only(self):
+        text = "the combined gold in the 1960 games is 19"
+        assert broad.parse(text).aggregate is Aggregate.SUM
+        assert strict.parse(text) is None
+
+    def test_lookup_of_total_column_not_misparsed(self):
+        # "the total of X is Y" is a lookup on a column named 'total'
+        spec = broad.parse("the total of valoria is 18")
+        assert spec.op is ClaimOp.LOOKUP
+        assert spec.column == "total"
+
+
+class TestSuperlative:
+    def test_highest(self):
+        spec = broad.parse("valoria has the highest gold in 1960 summer games")
+        assert spec.op is ClaimOp.SUPERLATIVE
+        assert spec.comparison is Comparison.HIGHER
+        assert spec.subject == "valoria"
+
+    def test_lowest_without_scope(self):
+        spec = broad.parse("suthmark has the lowest gold")
+        assert spec.comparison is Comparison.LOWER
+
+    def test_most_variant_broad_only(self):
+        text = "valoria recorded the most gold in the 1960 games"
+        assert broad.parse(text).op is ClaimOp.SUPERLATIVE
+        assert strict.parse(text) is None
+
+
+class TestCount:
+    def test_canonical(self):
+        spec = broad.parse("there are 2 rows with a party of republican")
+        assert spec.op is ClaimOp.COUNT
+        assert spec.count == 2
+        assert spec.column == "party"
+        assert spec.value == "republican"
+
+    def test_canonical_with_scope(self):
+        spec = broad.parse(
+            "there are 2 rows with a party of republican in ohio 1950 elections"
+        )
+        assert spec.op is ClaimOp.COUNT
+        assert spec.value == "republican"
+
+    def test_exactly_variant_broad_only(self):
+        text = "exactly 2 entries have a party of republican"
+        assert broad.parse(text).op is ClaimOp.COUNT
+        assert strict.parse(text) is None
+
+
+class TestRobustness:
+    def test_unparseable_returns_none(self):
+        assert broad.parse("completely freeform sentence without template") is None
+
+    def test_trailing_period_tolerated(self):
+        assert broad.parse("the party of tom jenkins is republican.") is not None
+
+    def test_case_insensitive(self):
+        assert broad.parse("The Party of Tom Jenkins IS Republican") is not None
+
+    def test_empty(self):
+        assert broad.parse("") is None
+
+    def test_strict_matches_broad_on_canonical_claims(self, small_bundle):
+        """On canonical-template claims the two grammars agree; note that
+        on *paraphrased* claims the strict grammar may misparse (e.g. a
+        'mean X' aggregate read as a lookup) — that OOD misbinding is the
+        modeled PASTA failure mode, exercised in the verifier tests."""
+        from repro.workloads.claimwl import build_claim_workload
+
+        workload = build_claim_workload(
+            small_bundle, num_claims=80, seed=9, variation_rate=0.0
+        )
+        assert len(workload) > 40
+        for task in workload:
+            strict_spec = strict.parse(task.claim.text)
+            broad_spec = broad.parse(task.claim.text)
+            assert strict_spec is not None, task.claim.text
+            assert broad_spec is not None
+            assert broad_spec.op is strict_spec.op

@@ -1,0 +1,116 @@
+"""Render → parse round-trip properties of the claim grammar.
+
+The generator renders a ClaimSpec to natural language and the parser
+must recover an *equivalent* spec — the invariant the whole
+claims-as-programs design rests on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.claims.generator import _render
+from repro.claims.model import Aggregate, ClaimOp, ClaimSpec, Comparison
+from repro.claims.parser import ClaimParser
+from repro.text import normalize
+
+parser = ClaimParser()
+
+# identifier-ish fragments that appear in our corpora: words, multiword
+# names, and numbers; none contain template keywords
+name = st.sampled_from([
+    "valoria", "tom jenkins", "ohio 1", "new salem heights",
+    "silent river", "anna m. carter", "suthmark",
+])
+column = st.sampled_from([
+    "gold", "votes", "party", "points per game", "first elected",
+    "peak position", "area km2",
+])
+value = st.sampled_from([
+    "republican", "re-elected", "19", "102,000", "4.5", "the detective",
+])
+scope = st.sampled_from([
+    "1960 summer games in lakeview medal table",
+    "united states house of representatives elections in ohio 1950",
+    "salem hawks 1994 season player statistics",
+])
+variant_flag = st.booleans()
+
+prop = settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much],
+)
+
+
+class TestLookupRoundTrip:
+    @prop
+    @given(column, name, value, variant_flag)
+    def test_round_trip(self, col, subject, val, variant):
+        spec = ClaimSpec(op=ClaimOp.LOOKUP, column=col, subject=subject,
+                         value=val)
+        text = _render(spec, "any scope", variant=variant)
+        parsed = parser.parse(text)
+        assert parsed is not None, text
+        assert parsed.op is ClaimOp.LOOKUP
+        assert normalize(parsed.column) == normalize(col)
+        assert normalize(parsed.subject) == normalize(subject)
+        assert normalize(parsed.value) == normalize(val)
+
+
+class TestCompareRoundTrip:
+    @prop
+    @given(column, name, name, st.sampled_from(list(Comparison)),
+           variant_flag)
+    def test_round_trip(self, col, a, b, direction, variant):
+        spec = ClaimSpec(op=ClaimOp.COMPARE, column=col, subject=a,
+                         subject_b=b, comparison=direction)
+        text = _render(spec, "any scope", variant=variant)
+        parsed = parser.parse(text)
+        assert parsed is not None, text
+        assert parsed.op is ClaimOp.COMPARE
+        assert parsed.comparison is direction
+        assert normalize(parsed.subject) == normalize(a)
+        assert normalize(parsed.subject_b) == normalize(b)
+
+
+class TestAggregateRoundTrip:
+    @prop
+    @given(column, st.sampled_from(list(Aggregate)),
+           st.sampled_from(["19", "102,000", "4.5"]), scope, variant_flag)
+    def test_round_trip(self, col, aggregate, val, table_scope, variant):
+        spec = ClaimSpec(op=ClaimOp.AGGREGATE, column=col,
+                         aggregate=aggregate, value=val)
+        text = _render(spec, table_scope, variant=variant)
+        parsed = parser.parse(text)
+        assert parsed is not None, text
+        assert parsed.op is ClaimOp.AGGREGATE
+        assert parsed.aggregate is aggregate
+        assert normalize(parsed.value) == normalize(val)
+
+
+class TestSuperlativeRoundTrip:
+    @prop
+    @given(column, name, st.sampled_from(list(Comparison)), scope,
+           variant_flag)
+    def test_round_trip(self, col, subject, direction, table_scope, variant):
+        spec = ClaimSpec(op=ClaimOp.SUPERLATIVE, column=col, subject=subject,
+                         comparison=direction)
+        text = _render(spec, table_scope, variant=variant)
+        parsed = parser.parse(text)
+        assert parsed is not None, text
+        assert parsed.op is ClaimOp.SUPERLATIVE
+        assert parsed.comparison is direction
+        assert normalize(parsed.subject) == normalize(subject)
+
+
+class TestCountRoundTrip:
+    @prop
+    @given(column, value, st.integers(min_value=0, max_value=20), scope,
+           variant_flag)
+    def test_round_trip(self, col, val, count, table_scope, variant):
+        spec = ClaimSpec(op=ClaimOp.COUNT, column=col, value=val, count=count)
+        text = _render(spec, table_scope, variant=variant)
+        parsed = parser.parse(text)
+        assert parsed is not None, text
+        assert parsed.op is ClaimOp.COUNT
+        assert parsed.count == count
+        assert normalize(parsed.value) == normalize(val)

@@ -1,0 +1,116 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datalake.persistence import save_lake
+
+
+@pytest.fixture(scope="module")
+def lake_path(tmp_path_factory, tiny_lake):
+    path = tmp_path_factory.mktemp("cli") / "lake.json"
+    save_lake(tiny_lake, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestBuildLake:
+    def test_writes_lake(self, tmp_path, capsys):
+        out = tmp_path / "generated.json"
+        code = main(["build-lake", "--tables", "10", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "10 tables" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_prints_counts(self, lake_path, capsys):
+        assert main(["stats", "--lake", lake_path]) == 0
+        output = capsys.readouterr().out
+        assert "tables:      2" in output
+        assert "text files:  2" in output
+
+
+class TestVerifyClaim:
+    def test_true_claim_exit_zero(self, lake_path, capsys):
+        code = main([
+            "verify-claim", "--lake", lake_path,
+            "--text", "the gold of valoria is 10",
+            "--context", "1960 summer games in lakeview medal table",
+        ])
+        assert code == 0
+        assert "Verified" in capsys.readouterr().out
+
+    def test_false_claim_exit_one(self, lake_path, capsys):
+        code = main([
+            "verify-claim", "--lake", lake_path,
+            "--text", "the gold of valoria is 99",
+            "--context", "1960 summer games in lakeview medal table",
+        ])
+        assert code == 1
+        assert "Refuted" in capsys.readouterr().out
+
+    def test_explain_flag(self, lake_path, capsys):
+        main([
+            "verify-claim", "--lake", lake_path,
+            "--text", "the gold of valoria is 10",
+            "--context", "1960 summer games in lakeview medal table",
+            "--explain",
+        ])
+        assert "coarse:table" in capsys.readouterr().out
+
+
+class TestVerifyTuple:
+    def test_wrong_value_refuted(self, lake_path, capsys):
+        code = main([
+            "verify-tuple", "--lake", lake_path,
+            "--table-id", "t-ohio-1950", "--row", "0",
+            "--column", "votes", "--value", "55,000",
+        ])
+        assert code == 1
+        assert "Refuted" in capsys.readouterr().out
+
+    def test_correct_value_verified(self, lake_path, capsys):
+        code = main([
+            "verify-tuple", "--lake", lake_path,
+            "--table-id", "t-ohio-1950", "--row", "0",
+            "--column", "votes", "--value", "102,000",
+        ])
+        assert code == 0
+        assert "Verified" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_runs_named_experiment(self, capsys):
+        code = main(["experiment", "--name", "headline", "--scale", "small"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "paper" in output and "measured" in output
+
+
+class TestDiscover:
+    def test_lists_hits(self, lake_path, capsys):
+        code = main([
+            "discover", "--lake", lake_path,
+            "--query", "valoria gold medals", "--k", "3",
+        ])
+        assert code == 0
+        assert "page-valoria" in capsys.readouterr().out
+
+    def test_modality_filter(self, lake_path, capsys):
+        main([
+            "discover", "--lake", lake_path,
+            "--query", "tom jenkins", "--modality", "tuple",
+        ])
+        output = capsys.readouterr().out
+        assert "[tuple" in output
+        assert "[text" not in output

@@ -1,0 +1,51 @@
+"""Batch verification and the campaign report."""
+
+import pytest
+
+from repro.core.pipeline import BatchReport, VerifAI
+from repro.llm.model import SimulatedLLM
+from repro.verify.objects import TupleObject
+from repro.verify.verdict import Verdict
+
+
+@pytest.fixture(scope="module")
+def system(tiny_lake, quiet_profile):
+    llm = SimulatedLLM(knowledge=None, profile=quiet_profile, seed=12)
+    return VerifAI(tiny_lake, llm=llm).build_indexes()
+
+
+class TestVerifyBatch:
+    def test_mixed_outcomes(self, system, election_table):
+        correct = TupleObject("b1", election_table.row(0), attribute="party")
+        wrong = TupleObject(
+            "b2",
+            election_table.row(0).replace_value("votes", "55,000"),
+            attribute="votes",
+        )
+        batch = system.verify_batch([correct, wrong])
+        assert len(batch) == 2
+        assert batch.verified == 1
+        assert batch.refuted == 1
+        assert batch.unresolved == 0
+
+    def test_summary_string(self, system, election_table):
+        obj = TupleObject("b3", election_table.row(1), attribute="party")
+        batch = system.verify_batch([obj])
+        assert "1 objects" in batch.summary()
+        assert "verified" in batch.summary()
+
+    def test_iterable(self, system, election_table):
+        obj = TupleObject("b4", election_table.row(2), attribute="party")
+        batch = system.verify_batch([obj])
+        assert [r.object_id for r in batch] == ["b4"]
+
+    def test_count_by_verdict(self, system, election_table):
+        obj = TupleObject("b5", election_table.row(3), attribute="party")
+        batch = system.verify_batch([obj])
+        total = sum(batch.count(v) for v in Verdict)
+        assert total == 1
+
+    def test_empty_batch(self, system):
+        batch = system.verify_batch([])
+        assert len(batch) == 0
+        assert batch.summary().startswith("0 objects")

@@ -1,0 +1,70 @@
+"""Knowledge-graph modality prototype."""
+
+from repro.datalake.kg import KGEntity, KGTriple, KnowledgeGraph
+
+
+class TestKnowledgeGraph:
+    def make(self):
+        kg = KnowledgeGraph()
+        kg.add("tom jenkins", "party", "republican")
+        kg.add("tom jenkins", "district", "ohio 1")
+        kg.add("bill hess", "party", "republican")
+        return kg
+
+    def test_counts(self):
+        kg = self.make()
+        assert kg.num_entities == 2
+        assert kg.num_triples == 3
+
+    def test_idempotent_add(self):
+        kg = self.make()
+        kg.add("Tom Jenkins", "Party", "Republican")  # case-insensitive dup
+        assert kg.num_triples == 3
+
+    def test_has(self):
+        kg = self.make()
+        assert kg.has("TOM JENKINS", "party", "republican")
+        assert not kg.has("tom jenkins", "party", "democratic")
+
+    def test_objects(self):
+        kg = self.make()
+        assert kg.objects("tom jenkins", "district") == ["ohio 1"]
+        assert kg.objects("nobody", "party") == []
+
+    def test_entity_view(self):
+        entity = self.make().entity("tom jenkins")
+        assert entity is not None
+        assert len(entity.triples) == 2
+
+    def test_entity_missing(self):
+        assert self.make().entity("nobody") is None
+
+    def test_entities_iteration(self):
+        names = {e.name for e in self.make().entities()}
+        assert names == {"tom jenkins", "bill hess"}
+
+
+class TestKGEntity:
+    def test_serialize(self):
+        entity = KGEntity(
+            "tom jenkins",
+            [KGTriple("tom jenkins", "party", "republican")],
+        )
+        rendered = entity.serialize()
+        assert rendered.splitlines()[0] == "tom jenkins"
+        assert "party: republican" in rendered
+
+    def test_instance_id(self):
+        assert KGEntity("Tom Jenkins").instance_id == "kg:tom_jenkins"
+
+    def test_kg_entities_indexable(self, tiny_lake):
+        """KG entities flow through the same content-index path."""
+        from repro.index.inverted import InvertedIndex
+
+        tiny_lake.kg.add("valoria", "instance of", "nation")
+        tiny_lake.kg.add("valoria", "gold", "10")
+        index = InvertedIndex()
+        for entity in tiny_lake.kg.entities():
+            index.add(entity.instance_id, entity.serialize())
+        hits = index.search("valoria gold", k=1)
+        assert hits and hits[0].instance_id == "kg:valoria"

@@ -1,0 +1,64 @@
+"""Instance serialization used by indexes, prompts, and parsers."""
+
+import pytest
+
+from repro.datalake.serialize import (
+    serialize_instance,
+    serialize_row,
+    serialize_table,
+    serialize_text,
+)
+from repro.datalake.types import Row, TextDocument
+
+
+class TestSerializeRow:
+    def test_format(self):
+        row = Row("t1", 0, ("district", "incumbent"), ("ohio 1", "tom"))
+        assert serialize_row(row) == "district: ohio 1 ; incumbent: tom"
+
+    def test_with_table_id(self):
+        row = Row("t1", 0, ("a",), ("x",))
+        assert serialize_row(row, include_table_id=True) == "[t1] a: x"
+
+    def test_round_trip_via_tuple_parser(self):
+        from repro.rerank.tuples import parse_serialized_tuple
+
+        row = Row("t", 0, ("a", "b", "c"), ("1", "two words", "3.5"))
+        parsed = parse_serialized_tuple(serialize_row(row))
+        assert parsed == row.as_dict()
+
+
+class TestSerializeTable:
+    def test_caption_first_line(self, election_table):
+        lines = serialize_table(election_table).splitlines()
+        assert lines[0] == election_table.caption
+        assert lines[1] == " | ".join(election_table.columns)
+        assert len(lines) == 2 + election_table.num_rows
+
+    def test_max_rows(self, election_table):
+        lines = serialize_table(election_table, max_rows=1).splitlines()
+        assert len(lines) == 3
+
+
+class TestSerializeText:
+    def test_title_prefixed(self):
+        doc = TextDocument("d", "Title", "Body text.")
+        assert serialize_text(doc) == "Title\nBody text."
+
+    def test_untitled(self):
+        doc = TextDocument("d", "", "Body only.")
+        assert serialize_text(doc) == "Body only."
+
+
+class TestSerializeInstance:
+    def test_dispatch(self, election_table):
+        assert serialize_instance(election_table).startswith(
+            election_table.caption
+        )
+        assert "district:" in serialize_instance(election_table.row(0))
+        doc = TextDocument("d", "T", "b")
+        assert serialize_instance(doc) == "T\nb"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            serialize_instance(42)

@@ -1,0 +1,107 @@
+"""Row/Table/TextDocument datatypes."""
+
+import pytest
+
+from repro.datalake.types import (
+    Modality,
+    Row,
+    Source,
+    Table,
+    TextDocument,
+    instance_id_of,
+    modality_of,
+)
+
+
+class TestRow:
+    def make(self):
+        return Row("t1", 2, ("a", "b"), ("x", "1,234"))
+
+    def test_instance_id(self):
+        assert self.make().instance_id == "t1#r2"
+
+    def test_as_dict(self):
+        assert self.make().as_dict() == {"a": "x", "b": "1,234"}
+
+    def test_get_missing_column(self):
+        assert self.make().get("nope") is None
+
+    def test_numeric(self):
+        assert self.make().numeric("b") == 1234.0
+
+    def test_numeric_non_number(self):
+        assert self.make().numeric("a") is None
+
+    def test_replace_value(self):
+        replaced = self.make().replace_value("a", "y")
+        assert replaced.get("a") == "y"
+        assert self.make().get("a") == "x"  # original untouched
+
+    def test_replace_unknown_column(self):
+        with pytest.raises(KeyError):
+            self.make().replace_value("zzz", "y")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Row("t", 0, ("a", "b"), ("only-one",))
+
+
+class TestTable:
+    def test_row_accessor(self, election_table):
+        row = election_table.row(0)
+        assert row.get("incumbent") == "tom jenkins"
+        assert row.table_id == election_table.table_id
+
+    def test_iter_rows(self, election_table):
+        rows = election_table.iter_rows()
+        assert len(rows) == election_table.num_rows
+        assert rows[1].row_index == 1
+
+    def test_column_values(self, election_table):
+        assert election_table.column_values("party") == [
+            "republican", "republican", "democratic", "democratic",
+        ]
+
+    def test_column_numbers(self, election_table):
+        numbers = election_table.column_numbers("votes")
+        assert numbers[0] == 102000.0
+
+    def test_column_numbers_non_numeric(self, election_table):
+        assert election_table.column_numbers("result") == [None] * 4
+
+    def test_key_column_defaults_to_first(self):
+        table = Table("t", "cap", ("x", "y"), [("1", "2")])
+        assert table.key_column == "x"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", "cap", ("x", "y"), [("only-one",)])
+
+    def test_has_column(self, election_table):
+        assert election_table.has_column("votes")
+        assert not election_table.has_column("nope")
+
+
+class TestModality:
+    def test_modality_of(self, election_table):
+        assert modality_of(election_table) is Modality.TABLE
+        assert modality_of(election_table.row(0)) is Modality.TUPLE
+        doc = TextDocument("d", "T", "body")
+        assert modality_of(doc) is Modality.TEXT
+
+    def test_modality_of_garbage(self):
+        with pytest.raises(TypeError):
+            modality_of("not an instance")
+
+    def test_instance_id_of(self, election_table):
+        assert instance_id_of(election_table) == election_table.table_id
+        assert instance_id_of(election_table.row(1)).endswith("#r1")
+
+
+class TestSource:
+    def test_str(self):
+        assert str(Source("tabfact")) == "tabfact"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Source("a").name = "b"

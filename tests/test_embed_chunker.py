@@ -1,0 +1,70 @@
+"""Sentence-aligned text chunking."""
+
+import pytest
+
+from repro.datalake.types import TextDocument
+from repro.embed.chunker import chunk_document, chunk_text
+from repro.text import tokenize
+
+
+LONG_TEXT = (
+    "Tom Jenkins is a politician. He represented ohio 1. He was first "
+    "elected in 1946. In the 1950 election he was re-elected. He received "
+    "102,000 votes. The house has two year terms. Districts are redrawn "
+    "after each census."
+)
+
+
+class TestChunkText:
+    def test_respects_token_budget(self):
+        chunks = chunk_text(LONG_TEXT, max_tokens=12, overlap_sentences=0)
+        assert len(chunks) > 1
+        for chunk in chunks:
+            # a single sentence may exceed the budget, but multi-sentence
+            # chunks must not
+            sentences_in_chunk = chunk.text.count(".")
+            if sentences_in_chunk > 1:
+                assert len(tokenize(chunk.text)) <= 12 + 8
+
+    def test_overlap(self):
+        chunks = chunk_text(LONG_TEXT, max_tokens=12, overlap_sentences=1)
+        for first, second in zip(chunks, chunks[1:]):
+            last_sentence = first.text.rsplit(". ", 1)[-1].rstrip(".")
+            assert last_sentence.rstrip(".") in second.text
+
+    def test_chunk_ids(self):
+        chunks = chunk_text(LONG_TEXT, doc_id="d9", max_tokens=12)
+        assert chunks[0].chunk_id == "d9#c0"
+        assert chunks[1].chunk_id == "d9#c1"
+
+    def test_empty_text(self):
+        assert chunk_text("") == []
+
+    def test_short_text_single_chunk(self):
+        chunks = chunk_text("One short sentence.", max_tokens=64)
+        assert len(chunks) == 1
+
+    def test_every_sentence_covered(self):
+        chunks = chunk_text(LONG_TEXT, max_tokens=12, overlap_sentences=0)
+        joined = " ".join(chunk.text for chunk in chunks)
+        assert "102,000 votes" in joined
+        assert "redrawn after each census" in joined
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            chunk_text("x", max_tokens=0)
+        with pytest.raises(ValueError):
+            chunk_text("x", overlap_sentences=-1)
+
+
+class TestChunkDocument:
+    def test_title_prefixed_to_first_chunk(self):
+        doc = TextDocument("d", "Tom Jenkins", LONG_TEXT)
+        chunks = chunk_document(doc, max_tokens=12)
+        assert chunks[0].text.startswith("Tom Jenkins.")
+        assert not chunks[1].text.startswith("Tom Jenkins.")
+
+    def test_untitled_document(self):
+        doc = TextDocument("d", "", "Just a body. With sentences.")
+        chunks = chunk_document(doc)
+        assert chunks[0].text.startswith("Just a body")

@@ -1,0 +1,70 @@
+"""Distributional (PPMI) embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.embed.cooccurrence import CooccurrenceEmbedder
+
+CORPUS = [
+    "tom jenkins ohio republican incumbent",
+    "bill hess ohio republican incumbent",
+    "anne clark ohio democratic incumbent",
+    "michael jordan chicago basketball player",
+    "scottie pippen chicago basketball player",
+]
+
+
+class TestCooccurrenceEmbedder:
+    def fitted(self, **kwargs):
+        params = dict(dim=32, min_count=1, seed=5)
+        params.update(kwargs)
+        return CooccurrenceEmbedder(**params).fit(CORPUS)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            CooccurrenceEmbedder().transform("anything")
+
+    def test_distributional_similarity(self):
+        emb = self.fitted()
+        # tokens sharing contexts (politician names) are closer than
+        # tokens from different domains
+        politicians = emb.transform("tom ohio")
+        politicians_b = emb.transform("bill ohio")
+        athletes = emb.transform("jordan basketball")
+        assert politicians @ politicians_b > politicians @ athletes
+
+    def test_unit_norm(self):
+        vec = self.fitted().transform("ohio republican")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_oov_gives_zero(self):
+        vec = self.fitted().transform("zzzunknown qqqmissing")
+        assert np.allclose(vec, 0.0)
+
+    def test_min_count_filters(self):
+        emb = self.fitted(min_count=3)
+        # 'jordan' appears once -> below min_count
+        assert emb.token_vector("jordan") is None
+
+    def test_deterministic(self):
+        a = self.fitted().transform("ohio")
+        b = self.fitted().transform("ohio")
+        assert np.allclose(a, b)
+
+    def test_empty_corpus(self):
+        emb = CooccurrenceEmbedder(dim=16, min_count=1).fit([])
+        assert emb.is_fitted
+        assert np.allclose(emb.transform("anything"), 0.0)
+
+    def test_vocabulary_sorted(self):
+        vocab = self.fitted().vocabulary
+        assert vocab == sorted(vocab)
+
+    def test_transform_many(self):
+        assert self.fitted().transform_many(["a", "b"]).shape == (2, 32)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CooccurrenceEmbedder(dim=0)
+        with pytest.raises(ValueError):
+            CooccurrenceEmbedder(window=0)

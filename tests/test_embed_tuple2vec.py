@@ -1,0 +1,66 @@
+"""tuple2vec / text2vec facades."""
+
+import numpy as np
+import pytest
+
+from repro.embed.tuple2vec import embed_row, embed_table, embed_text
+from repro.embed.vectorizers import HashingVectorizer
+
+
+@pytest.fixture(scope="module")
+def vectorizer():
+    return HashingVectorizer(dim=256)
+
+
+class TestEmbedRow:
+    def test_unit_norm(self, vectorizer, election_table):
+        vec = embed_row(election_table.row(0), vectorizer)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_same_values_different_schema_still_similar(self, vectorizer,
+                                                        election_table):
+        from repro.datalake.types import Row
+
+        row = election_table.row(0)
+        renamed = Row("t2", 0, tuple(c.upper() for c in row.columns),
+                      row.values)
+        sim = float(embed_row(row, vectorizer) @ embed_row(renamed, vectorizer))
+        assert sim > 0.7  # values dominate; schema is down-weighted
+
+    def test_schema_weight_zero_ignores_columns(self, vectorizer,
+                                                election_table):
+        from repro.datalake.types import Row
+
+        row = election_table.row(0)
+        renamed = Row("t2", 0, ("a1", "a2", "a3", "a4", "a5", "a6"),
+                      row.values)
+        a = embed_row(row, vectorizer, schema_weight=0.0)
+        b = embed_row(renamed, vectorizer, schema_weight=0.0)
+        assert float(a @ b) == pytest.approx(1.0)
+
+    def test_different_rows_dissimilar(self, vectorizer, election_table,
+                                       medal_table):
+        a = embed_row(election_table.row(0), vectorizer)
+        b = embed_row(medal_table.row(0), vectorizer)
+        assert float(a @ b) < 0.3
+
+
+class TestEmbedTable:
+    def test_table_near_own_rows(self, vectorizer, election_table):
+        table_vec = embed_table(election_table, vectorizer)
+        row_vec = embed_row(election_table.row(0), vectorizer)
+        other_vec = embed_text("completely unrelated basketball", vectorizer)
+        assert float(table_vec @ row_vec) > float(table_vec @ other_vec)
+
+    def test_max_rows_truncation_changes_embedding(self, vectorizer,
+                                                   election_table):
+        full = embed_table(election_table, vectorizer)
+        truncated = embed_table(election_table, vectorizer, max_rows=1)
+        assert not np.allclose(full, truncated)
+
+
+class TestEmbedText:
+    def test_matches_vectorizer_analysis(self, vectorizer):
+        direct = vectorizer.transform("tom jenkins ohio")
+        facade = embed_text("tom jenkins ohio", vectorizer)
+        assert np.allclose(direct, facade)

@@ -1,0 +1,99 @@
+"""Hashing and TF-IDF vectorizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.embed.vectorizers import HashingVectorizer, TfidfVectorizer
+
+words = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=6), min_size=1, max_size=12
+)
+
+
+class TestHashingVectorizer:
+    def test_deterministic(self):
+        a = HashingVectorizer(dim=64).transform("tom jenkins ohio")
+        b = HashingVectorizer(dim=64).transform("tom jenkins ohio")
+        assert np.allclose(a, b)
+
+    def test_unit_norm(self):
+        vec = HashingVectorizer(dim=64).transform("some words here")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_empty_text_zero_vector(self):
+        vec = HashingVectorizer(dim=64).transform("")
+        assert np.allclose(vec, 0.0)
+
+    def test_similar_texts_close(self):
+        hv = HashingVectorizer(dim=256)
+        a = hv.transform("tom jenkins republican ohio district")
+        b = hv.transform("tom jenkins republican ohio incumbent")
+        c = hv.transform("completely different basketball words")
+        assert a @ b > a @ c
+
+    def test_salt_changes_embedding(self):
+        a = HashingVectorizer(dim=64, salt="x").transform("hello world")
+        b = HashingVectorizer(dim=64, salt="y").transform("hello world")
+        assert not np.allclose(a, b)
+
+    def test_transform_many_shape(self):
+        hv = HashingVectorizer(dim=32)
+        matrix = hv.transform_many(["a b", "c d", "e f"])
+        assert matrix.shape == (3, 32)
+
+    def test_transform_many_empty(self):
+        assert HashingVectorizer(dim=32).transform_many([]).shape == (0, 32)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(dim=0)
+
+    @given(words)
+    def test_norm_bounded(self, tokens):
+        vec = HashingVectorizer(dim=64).transform_tokens(tokens)
+        assert np.linalg.norm(vec) <= 1.0 + 1e-9
+
+
+class TestTfidfVectorizer:
+    def corpus(self):
+        return [
+            "tom jenkins republican ohio",
+            "bill hess republican ohio",
+            "anne clark democratic ohio",
+            "basketball season statistics",
+        ]
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer(dim=32).transform("anything")
+
+    def test_fit_transform_norm(self):
+        vec = TfidfVectorizer(dim=64).fit(self.corpus()).transform("tom ohio")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_rare_tokens_weighted_up(self):
+        tv = TfidfVectorizer(dim=64).fit(self.corpus())
+        # 'ohio' appears in 3 docs, 'basketball' in 1
+        assert tv.idf("basketball") > tv.idf("ohio")
+
+    def test_unknown_token_max_idf(self):
+        tv = TfidfVectorizer(dim=64).fit(self.corpus())
+        assert tv.idf("zzzunknown") >= tv.idf("basketball")
+
+    def test_discrimination(self):
+        tv = TfidfVectorizer(dim=256).fit(self.corpus())
+        query = tv.transform("tom jenkins")
+        same = tv.transform("tom jenkins republican ohio")
+        other = tv.transform("basketball season statistics")
+        assert query @ same > query @ other
+
+    def test_transform_many(self):
+        tv = TfidfVectorizer(dim=32).fit(self.corpus())
+        assert tv.transform_many(self.corpus()).shape == (4, 32)
+
+    def test_is_fitted_flag(self):
+        tv = TfidfVectorizer(dim=32)
+        assert not tv.is_fitted
+        tv.fit(["one doc"])
+        assert tv.is_fitted

@@ -1,0 +1,80 @@
+"""Ground-truth construction for Table 2 (the gold verdict function)."""
+
+import pytest
+
+from repro.experiments.setup import GeneratedTuple
+from repro.experiments.table2 import gold_tuple_verdict
+from repro.verify.verdict import Verdict
+
+
+@pytest.fixture()
+def case(tiny_experiment_context):
+    """A generated tuple plus handles into its context."""
+    context = tiny_experiment_context
+    generated = context.generated[0]
+    return context, generated
+
+
+class TestGoldTupleVerdict:
+    def test_counterpart_supports_or_refutes(self, case):
+        context, generated = case
+        counterpart = context.bundle.lake.instance(
+            f"{generated.table_id}#r{generated.row_index}"
+        )
+        gold = gold_tuple_verdict(context, generated, counterpart)
+        expected = (
+            Verdict.VERIFIED if generated.is_correct else Verdict.REFUTED
+        )
+        assert gold is expected
+
+    def test_other_tuple_not_related(self, case):
+        context, generated = case
+        table = context.bundle.lake.table(generated.table_id)
+        other_index = (generated.row_index + 1) % table.num_rows
+        other = table.row(other_index)
+        assert gold_tuple_verdict(context, generated, other) is (
+            Verdict.NOT_RELATED
+        )
+
+    def test_foreign_page_not_related(self, case):
+        context, generated = case
+        # a page about some unrelated entity
+        row = context.bundle.lake.table(generated.table_id).row(
+            generated.row_index
+        )
+        relevant = set(context.bundle.relevant_pages_for_row(row))
+        foreign = next(
+            doc for doc in context.bundle.lake.documents()
+            if doc.doc_id not in relevant
+        )
+        assert gold_tuple_verdict(context, generated, foreign) is (
+            Verdict.NOT_RELATED
+        )
+
+    def test_relevant_page_gold_matches_correctness(self, case):
+        context, _ = case
+        # find a generated tuple whose relevant page actually states the
+        # true value of the target column
+        from repro.experiments.table2 import (
+            _page_covers_column,
+            _page_states_value,
+        )
+
+        for generated in context.generated:
+            row = context.bundle.lake.table(generated.table_id).row(
+                generated.row_index
+            )
+            for doc_id in context.bundle.relevant_pages_for_row(row):
+                page = context.bundle.lake.document(doc_id)
+                if _page_covers_column(page, generated.column) and (
+                    _page_states_value(page, generated.true_value)
+                ):
+                    gold = gold_tuple_verdict(context, generated, page)
+                    expected = (
+                        Verdict.VERIFIED
+                        if generated.is_correct
+                        else Verdict.REFUTED
+                    )
+                    assert gold is expected
+                    return
+        pytest.skip("no relevant page stating a target value in tiny corpus")

@@ -1,0 +1,42 @@
+"""The experiment report renderer."""
+
+import pytest
+
+from repro.experiments.report import (
+    _markdown_table,
+    render_experiment,
+    render_full_report,
+)
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        rendered = _markdown_table(["a", "b"], [[1, 0.5], ["x", None]])
+        lines = rendered.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | 0.50 |" in lines
+        assert "| x | NA |" in lines
+
+
+class TestRenderers:
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            render_experiment("nope", None)
+
+    @pytest.mark.parametrize("name", ["headline", "table1", "table2"])
+    def test_render_core_experiments(self, name, tiny_experiment_context):
+        rendered = render_experiment(name, tiny_experiment_context)
+        assert "|" in rendered
+        assert "paper" in rendered or "ChatGPT" in rendered
+
+    def test_render_figures(self, tiny_experiment_context):
+        rendered = render_experiment("figures", tiny_experiment_context)
+        assert "Figure 1" in rendered
+        assert "Figure 4" in rendered
+
+    def test_full_report_contains_all_sections(self, tiny_experiment_context):
+        rendered = render_full_report(tiny_experiment_context)
+        for heading in ("Headline", "Table 1", "Table 2", "Figures",
+                        "Ablations"):
+            assert heading in rendered

@@ -1,0 +1,111 @@
+"""BM25 inverted index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.inverted import InvertedIndex
+
+DOCS = {
+    "d1": "tom jenkins republican ohio 1 re-elected 102,000 votes",
+    "d2": "bill hess republican ohio 2 re-elected 85,500 votes",
+    "d3": "anne clark democratic ohio 4 lost re-election",
+    "d4": "michael jordan basketball chicago points rebounds",
+}
+
+
+def build():
+    index = InvertedIndex()
+    index.add_many(DOCS)
+    return index
+
+
+class TestBasics:
+    def test_len(self):
+        assert len(build()) == 4
+
+    def test_duplicate_id_rejected(self):
+        index = build()
+        with pytest.raises(ValueError):
+            index.add("d1", "anything")
+
+    def test_empty_query(self):
+        assert build().search("", k=5) == []
+
+    def test_unknown_tokens(self):
+        assert build().search("zzz qqq", k=5) == []
+
+    def test_k_zero(self):
+        assert build().search("ohio", k=0) == []
+
+    def test_search_empty_index(self):
+        assert InvertedIndex().search("anything") == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            InvertedIndex(k1=-1)
+        with pytest.raises(ValueError):
+            InvertedIndex(b=2.0)
+
+
+class TestRanking:
+    def test_exact_entity_ranks_first(self):
+        hits = build().search("tom jenkins", k=4)
+        assert hits[0].instance_id == "d1"
+
+    def test_shared_token_still_retrieved(self):
+        hits = build().search("ohio", k=4)
+        ids = {h.instance_id for h in hits}
+        assert ids == {"d1", "d2", "d3"}
+
+    def test_scores_descending(self):
+        hits = build().search("republican ohio votes", k=4)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rare_token_beats_common(self):
+        index = build()
+        # 'basketball' occurs once; its idf exceeds 'ohio' (three docs)
+        assert index.idf("basketball") > index.idf("ohio")
+
+    def test_deterministic_tiebreak(self):
+        index = InvertedIndex()
+        index.add("b", "same tokens here")
+        index.add("a", "same tokens here")
+        hits = index.search("same tokens", k=2)
+        assert [h.instance_id for h in hits] == ["a", "b"]
+
+    def test_numbers_searchable(self):
+        hits = build().search("102,000", k=1)
+        assert hits[0].instance_id == "d1"
+
+    def test_length_normalization(self):
+        index = InvertedIndex()
+        index.add("short", "ohio vote")
+        index.add("long", "ohio vote " + "filler tokens here " * 30)
+        hits = index.search("ohio vote", k=2)
+        assert hits[0].instance_id == "short"
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abc", min_size=1, max_size=3),
+            st.lists(
+                st.text(alphabet="defghijkl", min_size=3, max_size=8),
+                min_size=1, max_size=6,
+            ).map(" ".join),
+            min_size=1, max_size=8,
+        )
+    )
+    def test_document_retrievable_by_own_content(self, docs):
+        index = InvertedIndex()
+        index.add_many(docs)
+        for doc_id, payload in docs.items():
+            hits = index.search(payload, k=len(docs))
+            assert doc_id in {h.instance_id for h in hits}
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(max_size=40))
+    def test_search_never_crashes(self, query):
+        build().search(query, k=3)

@@ -1,0 +1,65 @@
+"""Inverted-index snapshot/restore."""
+
+import json
+
+import pytest
+
+from repro.index.inverted import InvertedIndex
+from repro.index.persistence import load_inverted_index, save_inverted_index
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex(name="snap", k1=1.5, b=0.6)
+    idx.add("d1", "tom jenkins republican ohio votes 102,000")
+    idx.add("d2", "bill hess republican ohio")
+    idx.add("d3", "basketball jordan chicago")
+    return idx
+
+
+class TestRoundTrip:
+    def test_identical_search_results(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_inverted_index(index, path)
+        loaded = load_inverted_index(path)
+        for query in ("tom jenkins", "ohio republican", "102,000", "zzz"):
+            original = [(h.instance_id, round(h.score, 9))
+                        for h in index.search(query, 3)]
+            restored = [(h.instance_id, round(h.score, 9))
+                        for h in loaded.search(query, 3)]
+            assert original == restored
+
+    def test_parameters_preserved(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_inverted_index(index, path)
+        loaded = load_inverted_index(path)
+        assert loaded.name == "snap"
+        assert loaded.k1 == 1.5
+        assert loaded.b == 0.6
+        assert len(loaded) == len(index)
+        assert loaded.avg_doc_length == index.avg_doc_length
+
+    def test_loaded_index_accepts_new_documents(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_inverted_index(index, path)
+        loaded = load_inverted_index(path)
+        loaded.add("d4", "a brand new document")
+        assert loaded.search("brand new", 1)[0].instance_id == "d4"
+        with pytest.raises(ValueError):
+            loaded.add("d1", "duplicate")
+
+    def test_bad_version_rejected(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_inverted_index(index, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_inverted_index(path)
+
+    def test_empty_index(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_inverted_index(InvertedIndex(), path)
+        loaded = load_inverted_index(path)
+        assert len(loaded) == 0
+        assert loaded.search("anything") == []

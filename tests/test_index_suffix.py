@@ -1,0 +1,118 @@
+"""Generalized suffix-automaton substring index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.suffix import SuffixAutomatonIndex
+
+text_strategy = st.text(alphabet="abcde ", min_size=1, max_size=30)
+
+
+def build():
+    index = SuffixAutomatonIndex()
+    index.add("d1", "tom jenkins was re-elected in ohio")
+    index.add("d2", "bill hess retired in ohio")
+    index.add("d3", "valoria won ten gold medals")
+    return index
+
+
+class TestContains:
+    def test_full_document(self):
+        assert build().contains("tom jenkins was re-elected in ohio")
+
+    def test_inner_substring(self):
+        assert build().contains("jenkins was re")
+
+    def test_cross_document_absent(self):
+        # substrings never span document boundaries
+        assert not build().contains("ohio bill")
+
+    def test_absent(self):
+        assert not build().contains("zzz")
+
+    def test_empty_query(self):
+        assert not build().contains("")
+
+    def test_case_insensitive(self):
+        assert build().contains("TOM JENKINS")
+
+
+class TestDocumentsContaining:
+    def test_unique_match(self):
+        assert build().documents_containing("jenkins") == ["d1"]
+
+    def test_shared_substring(self):
+        assert build().documents_containing("in ohio") == ["d1", "d2"]
+
+    def test_no_match(self):
+        assert build().documents_containing("basketball") == []
+
+    def test_truncation_fallback_scan(self):
+        index = SuffixAutomatonIndex(max_docs_per_state=2)
+        for i in range(6):
+            index.add(f"d{i}", f"shared prefix text number {i}")
+        found = index.documents_containing("shared prefix")
+        assert len(found) == 6  # fallback scan recovers past the cap
+
+
+class TestSearch:
+    def test_ranking_prefers_shorter_documents(self):
+        index = SuffixAutomatonIndex()
+        index.add("short", "ohio votes")
+        index.add("long", "ohio votes " + "x" * 200)
+        hits = index.search("ohio votes", k=2)
+        assert hits[0].instance_id == "short"
+
+    def test_k_respected(self):
+        index = build()
+        assert len(index.search("in ohio", k=1)) == 1
+
+    def test_duplicate_id_rejected(self):
+        index = build()
+        with pytest.raises(ValueError):
+            index.add("d1", "again")
+
+    def test_len(self):
+        assert len(build()) == 3
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            SuffixAutomatonIndex(max_docs_per_state=0)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(text_strategy, min_size=1, max_size=5, unique=True))
+    def test_every_substring_found(self, texts):
+        from repro.text import normalize
+
+        index = SuffixAutomatonIndex()
+        for i, text in enumerate(texts):
+            index.add(f"d{i}", text)
+        for i, text in enumerate(texts):
+            normalized = normalize(text)
+            if not normalized:
+                continue
+            # every substring of every document must be found, and the
+            # owning document must be among the reported ids
+            for start in range(len(normalized)):
+                for end in range(start + 1, min(start + 6, len(normalized)) + 1):
+                    needle = normalized[start:end]
+                    if normalize(needle) != needle:
+                        continue  # queries are normalized before matching
+                    assert index.contains(needle)
+                    assert f"d{i}" in index.documents_containing(needle)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(text_strategy, min_size=1, max_size=4, unique=True),
+           text_strategy)
+    def test_matches_are_real_substrings(self, texts, query):
+        from repro.text import normalize
+
+        index = SuffixAutomatonIndex()
+        for i, text in enumerate(texts):
+            index.add(f"d{i}", text)
+        needle = normalize(query)
+        for doc_id in index.documents_containing(query):
+            owner_index = int(doc_id[1:])
+            assert needle in normalize(texts[owner_index])

@@ -1,0 +1,80 @@
+"""Trigram index and prefix trie."""
+
+import pytest
+
+from repro.index.trie import Trie
+from repro.index.trigram import TrigramIndex
+
+
+class TestTrigramIndex:
+    def build(self):
+        index = TrigramIndex()
+        index.add("a", "tom jenkins")
+        index.add("b", "tom jenkinz")  # near-duplicate
+        index.add("c", "completely different")
+        return index
+
+    def test_exact_match_first(self):
+        hits = self.build().search("tom jenkins", k=3)
+        assert hits[0].instance_id == "a"
+        assert hits[0].score == pytest.approx(1.0)
+
+    def test_typo_tolerance(self):
+        hits = self.build().search("tom jenkinz", k=3)
+        assert {h.instance_id for h in hits[:2]} == {"a", "b"}
+
+    def test_unrelated_scores_low(self):
+        hits = self.build().search("tom jenkins", k=3)
+        by_id = {h.instance_id: h.score for h in hits}
+        assert by_id.get("c", 0.0) < 0.2
+
+    def test_duplicate_id_rejected(self):
+        index = self.build()
+        with pytest.raises(ValueError):
+            index.add("a", "again")
+
+    def test_len(self):
+        assert len(self.build()) == 3
+
+    def test_empty_query(self):
+        assert self.build().search("", k=3) == []
+
+
+class TestTrie:
+    def build(self):
+        trie = Trie()
+        trie.add("a", "tom jenkins")
+        trie.add("b", "tom jefferson")
+        trie.add("c", "anne clark")
+        return trie
+
+    def test_contains_exact(self):
+        trie = self.build()
+        assert trie.contains_exact("Tom Jenkins")  # normalized
+        assert not trie.contains_exact("tom")
+
+    def test_prefix_ids(self):
+        assert set(self.build().ids_with_prefix("tom")) == {"a", "b"}
+
+    def test_prefix_limit(self):
+        assert len(self.build().ids_with_prefix("tom", limit=1)) == 1
+
+    def test_no_match(self):
+        assert self.build().ids_with_prefix("zzz") == []
+
+    def test_search_interface(self):
+        hits = self.build().search("tom je", k=5)
+        assert {h.instance_id for h in hits} == {"a", "b"}
+
+    def test_duplicate_id_rejected(self):
+        trie = self.build()
+        with pytest.raises(ValueError):
+            trie.add("a", "again")
+
+    def test_len(self):
+        assert len(self.build()) == 3
+
+    def test_deterministic_order(self):
+        assert self.build().ids_with_prefix("") == ["c", "b", "a"] or sorted(
+            self.build().ids_with_prefix("")
+        ) == ["a", "b", "c"]

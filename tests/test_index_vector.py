@@ -1,0 +1,173 @@
+"""Flat, IVF, and HNSW vector indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embed.vectorizers import HashingVectorizer
+from repro.index.hnsw import HNSWIndex
+from repro.index.ivf import IVFFlatIndex
+from repro.index.vector import FlatVectorIndex
+
+
+def random_vectors(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, dim))
+    return vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+
+
+class TestFlatVectorIndex:
+    def test_exact_nearest(self):
+        data = random_vectors(50, 16)
+        index = FlatVectorIndex(dim=16)
+        for i, vec in enumerate(data):
+            index.add_vector(f"v{i}", vec)
+        query = data[7] + 0.01
+        hits = index.search_vector(query, k=1)
+        assert hits[0].instance_id == "v7"
+
+    def test_encoder_path(self):
+        hv = HashingVectorizer(dim=64)
+        index = FlatVectorIndex(dim=64, encoder=hv.transform)
+        index.add("a", "tom jenkins ohio republican")
+        index.add("b", "basketball jordan chicago")
+        hits = index.search("ohio republican tom", k=2)
+        assert hits[0].instance_id == "a"
+
+    def test_no_encoder_raises(self):
+        index = FlatVectorIndex(dim=8)
+        with pytest.raises(RuntimeError):
+            index.search("text query")
+
+    def test_wrong_dim_rejected(self):
+        index = FlatVectorIndex(dim=8)
+        with pytest.raises(ValueError):
+            index.add_vector("a", np.zeros(9))
+
+    def test_duplicate_id_rejected(self):
+        index = FlatVectorIndex(dim=4)
+        index.add_vector("a", np.ones(4))
+        with pytest.raises(ValueError):
+            index.add_vector("a", np.ones(4))
+
+    def test_l2_metric(self):
+        index = FlatVectorIndex(dim=2, metric="l2")
+        index.add_vector("near", np.array([1.0, 0.0]))
+        index.add_vector("far", np.array([10.0, 0.0]))
+        hits = index.search_vector(np.array([1.1, 0.0]), k=2)
+        assert hits[0].instance_id == "near"
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            FlatVectorIndex(dim=4, metric="manhattan")
+
+    def test_empty_index(self):
+        assert FlatVectorIndex(dim=4).search_vector(np.ones(4), k=3) == []
+
+    def test_vector_of(self):
+        index = FlatVectorIndex(dim=3)
+        vec = np.array([1.0, 2.0, 3.0])
+        index.add_vector("a", vec)
+        assert np.allclose(index.vector_of("a"), vec)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=10**6))
+    def test_top1_is_argmax_cosine(self, n, seed):
+        data = random_vectors(n, 8, seed)
+        index = FlatVectorIndex(dim=8)
+        for i, vec in enumerate(data):
+            index.add_vector(f"v{i}", vec)
+        query = random_vectors(1, 8, seed + 1)[0]
+        best = index.search_vector(query, k=1)[0]
+        sims = data @ query
+        assert best.instance_id == f"v{int(np.argmax(sims))}"
+
+
+class TestIVFFlatIndex:
+    def test_recall_against_flat(self):
+        data = random_vectors(300, 16, seed=2)
+        flat = FlatVectorIndex(dim=16)
+        ivf = IVFFlatIndex(dim=16, nlist=16, nprobe=4, seed=3)
+        for i, vec in enumerate(data):
+            flat.add_vector(f"v{i}", vec)
+            ivf.add_vector(f"v{i}", vec)
+        queries = random_vectors(20, 16, seed=4)
+        agree = 0
+        for query in queries:
+            exact = {h.instance_id for h in flat.search_vector(query, 10)}
+            approx = {h.instance_id for h in ivf.search_vector(query, 10)}
+            agree += len(exact & approx) / 10
+        assert agree / 20 >= 0.5  # probing 25% of cells keeps most recall
+
+    def test_full_probe_equals_flat(self):
+        data = random_vectors(60, 8, seed=5)
+        flat = FlatVectorIndex(dim=8)
+        ivf = IVFFlatIndex(dim=8, nlist=4, nprobe=4, seed=6)
+        for i, vec in enumerate(data):
+            flat.add_vector(f"v{i}", vec)
+            ivf.add_vector(f"v{i}", vec)
+        query = random_vectors(1, 8, seed=7)[0]
+        exact = [h.instance_id for h in flat.search_vector(query, 5)]
+        approx = [h.instance_id for h in ivf.search_vector(query, 5)]
+        assert exact == approx
+
+    def test_lazy_training(self):
+        ivf = IVFFlatIndex(dim=4, nlist=2)
+        ivf.add_vector("a", np.array([1.0, 0, 0, 0]))
+        assert not ivf.is_trained
+        ivf.search_vector(np.array([1.0, 0, 0, 0]), k=1)
+        assert ivf.is_trained
+
+    def test_retrain_after_insert(self):
+        ivf = IVFFlatIndex(dim=4, nlist=2)
+        ivf.add_vector("a", np.array([1.0, 0, 0, 0]))
+        ivf.search_vector(np.ones(4), k=1)
+        ivf.add_vector("b", np.array([0, 1.0, 0, 0]))
+        assert not ivf.is_trained  # invalidated
+        hits = ivf.search_vector(np.array([0, 1.0, 0, 0]), k=1)
+        assert hits[0].instance_id == "b"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            IVFFlatIndex(dim=4, nlist=0)
+        with pytest.raises(ValueError):
+            IVFFlatIndex(dim=4, nprobe=0)
+
+    def test_empty(self):
+        assert IVFFlatIndex(dim=4).search_vector(np.ones(4)) == []
+
+
+class TestHNSWIndex:
+    def test_recall_against_flat(self):
+        data = random_vectors(300, 16, seed=8)
+        flat = FlatVectorIndex(dim=16)
+        hnsw = HNSWIndex(dim=16, m=8, ef_search=64, seed=9)
+        for i, vec in enumerate(data):
+            flat.add_vector(f"v{i}", vec)
+            hnsw.add_vector(f"v{i}", vec)
+        queries = random_vectors(20, 16, seed=10)
+        agree = 0
+        for query in queries:
+            exact = {h.instance_id for h in flat.search_vector(query, 10)}
+            approx = {h.instance_id for h in hnsw.search_vector(query, 10)}
+            agree += len(exact & approx) / 10
+        assert agree / 20 >= 0.7
+
+    def test_single_element(self):
+        hnsw = HNSWIndex(dim=4)
+        hnsw.add_vector("only", np.array([1.0, 0, 0, 0]))
+        hits = hnsw.search_vector(np.array([0.9, 0.1, 0, 0]), k=3)
+        assert [h.instance_id for h in hits] == ["only"]
+
+    def test_empty(self):
+        assert HNSWIndex(dim=4).search_vector(np.ones(4)) == []
+
+    def test_scores_are_cosine_like(self):
+        hnsw = HNSWIndex(dim=2)
+        hnsw.add_vector("x", np.array([1.0, 0.0]))
+        hits = hnsw.search_vector(np.array([1.0, 0.0]), k=1)
+        assert hits[0].score == pytest.approx(1.0)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            HNSWIndex(dim=4, m=0)

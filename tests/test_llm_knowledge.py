@@ -1,0 +1,123 @@
+"""The LLM's noisy parametric memory."""
+
+import pytest
+
+from repro.llm.knowledge import UNKNOWN, WorldKnowledge, rng_for
+
+
+class TestRngFor:
+    def test_deterministic(self):
+        assert rng_for(1, "a", "b").random() == rng_for(1, "a", "b").random()
+
+    def test_part_sensitivity(self):
+        assert rng_for(1, "a").random() != rng_for(1, "b").random()
+
+    def test_seed_sensitivity(self):
+        assert rng_for(1, "a").random() != rng_for(2, "a").random()
+
+
+class TestWorldKnowledge:
+    def test_full_coverage_is_faithful(self, election_table):
+        wk = WorldKnowledge([election_table], coverage=1.0, wrong_rate=0.0,
+                            confusion_rate=0.0)
+        for row in election_table.iter_rows():
+            for column in election_table.columns:
+                recalled = wk.recall_cell(
+                    election_table.caption, row.get("district"), column
+                )
+                assert recalled == row.get(column)
+
+    def test_zero_coverage_never_correct_or_absent(self, election_table):
+        wk = WorldKnowledge([election_table], coverage=0.0, wrong_rate=0.0,
+                            confusion_rate=0.0)
+        recalled = wk.recall_cell(election_table.caption, "ohio 1", "votes")
+        assert recalled is None  # everything is UNKNOWN -> absent
+
+    def test_wrong_values_are_plausible(self, election_table):
+        wk = WorldKnowledge([election_table], coverage=0.0, wrong_rate=1.0,
+                            confusion_rate=0.0)
+        recalled = wk.recall_cell(election_table.caption, "ohio 1", "party")
+        assert recalled in ("republican", "democratic")
+
+    def test_key_column_never_corrupted(self, election_table):
+        wk = WorldKnowledge([election_table], coverage=0.0, wrong_rate=1.0,
+                            confusion_rate=0.0)
+        memory = wk.recall_table(election_table.caption)
+        assert memory.column_values("district") == (
+            election_table.column_values("district")
+        )
+
+    def test_memory_is_stable(self, election_table):
+        a = WorldKnowledge([election_table], seed=5)
+        b = WorldKnowledge([election_table], seed=5)
+        assert a.recall_table(election_table.caption).rows == (
+            b.recall_table(election_table.caption).rows
+        )
+
+    def test_different_seeds_differ(self, election_table):
+        a = WorldKnowledge([election_table], coverage=0.1, wrong_rate=0.9, seed=1)
+        b = WorldKnowledge([election_table], coverage=0.1, wrong_rate=0.9, seed=2)
+        assert a.recall_table(election_table.caption).rows != (
+            b.recall_table(election_table.caption).rows
+        )
+
+    def test_fuzzy_caption_recall(self, election_table):
+        wk = WorldKnowledge([election_table], confusion_rate=0.0)
+        memory = wk.recall_table(
+            "house of representatives elections ohio 1950"
+        )
+        assert memory is not None
+        assert memory.table_id == election_table.table_id
+
+    def test_unknown_caption(self, election_table):
+        wk = WorldKnowledge([election_table], confusion_rate=0.0)
+        assert wk.recall_table("completely unrelated topic") is None
+
+    def test_recall_cell_unknown_key(self, election_table):
+        wk = WorldKnowledge([election_table], confusion_rate=0.0)
+        assert wk.recall_cell(election_table.caption, "texas 1", "party") is None
+
+    def test_hallucination_from_domain(self, election_table):
+        import random
+
+        wk = WorldKnowledge([election_table], confusion_rate=0.0)
+        value = wk.hallucinate_value(
+            election_table.caption, "party", random.Random(0)
+        )
+        assert value in ("republican", "democratic")
+
+    def test_hallucination_unknown_domain(self, election_table):
+        import random
+
+        wk = WorldKnowledge([election_table], confusion_rate=0.0)
+        assert wk.hallucinate_value("cap", "nope", random.Random(0)) == "unknown"
+
+    def test_confusion_redirects_to_sibling(self, election_table, medal_table):
+        # force confusion: a second elections table to confuse with
+        from repro.datalake.types import Table
+
+        sibling = Table(
+            table_id="t-ohio-1952",
+            caption="united states house of representatives elections in ohio 1952",
+            columns=election_table.columns,
+            rows=list(election_table.rows),
+            metadata={"domain": "elections"},
+        )
+        wk = WorldKnowledge(
+            [election_table, sibling], coverage=1.0, wrong_rate=0.0,
+            confusion_rate=1.0,
+        )
+        memory = wk.recall_table(election_table.caption)
+        assert memory.table_id != election_table.table_id
+
+    def test_invalid_params(self, election_table):
+        with pytest.raises(ValueError):
+            WorldKnowledge([election_table], coverage=1.5)
+        with pytest.raises(ValueError):
+            WorldKnowledge([election_table], coverage=0.8, wrong_rate=0.5)
+        with pytest.raises(ValueError):
+            WorldKnowledge([election_table], confusion_rate=-0.1)
+
+    def test_num_tables(self, election_table, medal_table):
+        wk = WorldKnowledge([election_table, medal_table])
+        assert wk.num_tables == 2

@@ -1,0 +1,216 @@
+"""The simulated chat model's three behaviours."""
+
+import pytest
+
+from repro.datalake.serialize import serialize_row, serialize_table
+from repro.llm.knowledge import WorldKnowledge
+from repro.llm.model import SimulatedLLM
+from repro.llm.profile import LLMProfile
+from repro.llm.prompts import (
+    claim_question_prompt,
+    parse_boolean_response,
+    parse_completed_table,
+    parse_verification_response,
+    tuple_completion_prompt,
+    verification_prompt,
+)
+
+
+@pytest.fixture()
+def perfect_llm(election_table, medal_table, quiet_profile):
+    """Full-coverage knowledge, zero slips: the oracle configuration."""
+    knowledge = WorldKnowledge(
+        [election_table, medal_table], coverage=1.0, wrong_rate=0.0,
+        confusion_rate=0.0,
+    )
+    return SimulatedLLM(knowledge=knowledge, profile=quiet_profile, seed=1)
+
+
+@pytest.fixture()
+def verifier_llm(quiet_profile):
+    """Evidence-grounded verifier with no parametric knowledge."""
+    return SimulatedLLM(knowledge=None, profile=quiet_profile, seed=2)
+
+
+class TestDeterminism:
+    def test_same_prompt_same_answer(self, perfect_llm, election_table):
+        prompt = claim_question_prompt("the party of ohio 1 is republican",
+                                       election_table.caption)
+        assert perfect_llm.chat(prompt) == perfect_llm.chat(prompt)
+
+    def test_call_counter(self, verifier_llm):
+        before = verifier_llm.num_calls
+        verifier_llm.chat("anything")
+        assert verifier_llm.num_calls == before + 1
+
+    def test_unknown_prompt_fallback(self, verifier_llm):
+        assert "not sure" in verifier_llm.chat("what is the meaning of life?")
+
+
+class TestTupleCompletion:
+    def test_perfect_memory_fills_correctly(self, perfect_llm, election_table):
+        masked = election_table.row(0).replace_value("party", "NaN")
+        prompt = tuple_completion_prompt(
+            election_table.caption, masked.columns, [masked.values]
+        )
+        header, rows = parse_completed_table(perfect_llm.chat(prompt))
+        assert dict(zip(header, rows[0]))["party"] == "republican"
+
+    def test_multiple_nans_filled(self, perfect_llm, election_table):
+        masked = (
+            election_table.row(1)
+            .replace_value("party", "NaN")
+            .replace_value("result", "NaN")
+        )
+        prompt = tuple_completion_prompt(
+            election_table.caption, masked.columns, [masked.values]
+        )
+        header, rows = parse_completed_table(perfect_llm.chat(prompt))
+        completed = dict(zip(header, rows[0]))
+        assert completed["party"] == "republican"
+        assert completed["result"] == "re-elected"
+
+    def test_batch_of_rows(self, perfect_llm, election_table):
+        masked = [
+            election_table.row(i).replace_value("party", "NaN").values
+            for i in range(3)
+        ]
+        prompt = tuple_completion_prompt(
+            election_table.caption, election_table.columns, masked
+        )
+        header, rows = parse_completed_table(perfect_llm.chat(prompt))
+        assert len(rows) == 3
+        assert all("NaN" not in row for row in rows)
+
+    def test_no_knowledge_model_degrades_gracefully(self, verifier_llm):
+        response = verifier_llm.chat(
+            tuple_completion_prompt("cap", ("a",), [("NaN",)])
+        )
+        assert "enough information" in response
+
+
+class TestClaimQA:
+    def test_true_claim_with_perfect_memory(self, perfect_llm, medal_table):
+        prompt = claim_question_prompt(
+            "the gold of valoria is 10", medal_table.caption
+        )
+        assert parse_boolean_response(perfect_llm.chat(prompt)) is True
+
+    def test_false_claim_with_perfect_memory(self, perfect_llm, medal_table):
+        prompt = claim_question_prompt(
+            "the gold of valoria is 99", medal_table.caption
+        )
+        assert parse_boolean_response(perfect_llm.chat(prompt)) is False
+
+    def test_unknown_context_still_answers(self, perfect_llm):
+        prompt = claim_question_prompt("the x of y is z", "no such table")
+        assert parse_boolean_response(perfect_llm.chat(prompt)) is not None
+
+
+class TestVerification:
+    def test_tuple_vs_matching_tuple_verified(self, verifier_llm, election_table):
+        row = election_table.row(0)
+        prompt = verification_prompt(
+            serialize_row(row), serialize_row(row), attribute="party"
+        )
+        verdict, _ = parse_verification_response(verifier_llm.chat(prompt))
+        assert verdict == "verified"
+
+    def test_tuple_vs_conflicting_tuple_refuted(self, verifier_llm, election_table):
+        row = election_table.row(0)
+        wrong = row.replace_value("party", "democratic")
+        prompt = verification_prompt(
+            serialize_row(row), serialize_row(wrong), attribute="party"
+        )
+        verdict, explanation = parse_verification_response(
+            verifier_llm.chat(prompt)
+        )
+        assert verdict == "refuted"
+        assert "republican" in explanation
+
+    def test_tuple_vs_other_entity_not_related(self, verifier_llm, election_table):
+        data = election_table.row(0)
+        other = election_table.row(3)  # different district entirely
+        prompt = verification_prompt(
+            serialize_row(other), serialize_row(data), attribute="party"
+        )
+        verdict, _ = parse_verification_response(verifier_llm.chat(prompt))
+        assert verdict == "not related"
+
+    def test_tuple_vs_supporting_text(self, verifier_llm, election_table, tiny_lake):
+        page = tiny_lake.document("page-jenkins")
+        row = election_table.row(0)
+        prompt = verification_prompt(
+            f"{page.title}\n{page.text}", serialize_row(row), attribute="votes"
+        )
+        verdict, _ = parse_verification_response(verifier_llm.chat(prompt))
+        assert verdict == "verified"
+
+    def test_tuple_vs_refuting_text(self, verifier_llm, election_table, tiny_lake):
+        page = tiny_lake.document("page-jenkins")
+        wrong = election_table.row(0).replace_value("votes", "55,000")
+        prompt = verification_prompt(
+            f"{page.title}\n{page.text}", serialize_row(wrong), attribute="votes"
+        )
+        verdict, _ = parse_verification_response(verifier_llm.chat(prompt))
+        assert verdict == "refuted"
+
+    def test_tuple_vs_unrelated_text(self, verifier_llm, election_table, tiny_lake):
+        page = tiny_lake.document("page-valoria")
+        row = election_table.row(0)
+        prompt = verification_prompt(
+            f"{page.title}\n{page.text}", serialize_row(row), attribute="votes"
+        )
+        verdict, _ = parse_verification_response(verifier_llm.chat(prompt))
+        assert verdict == "not related"
+
+    def test_claim_vs_table_verified(self, verifier_llm, medal_table):
+        prompt = verification_prompt(
+            serialize_table(medal_table),
+            "the gold of valoria is 10",
+            context=medal_table.caption,
+        )
+        verdict, _ = parse_verification_response(verifier_llm.chat(prompt))
+        assert verdict == "verified"
+
+    def test_claim_vs_table_refuted_by_aggregation(self, verifier_llm, medal_table):
+        prompt = verification_prompt(
+            serialize_table(medal_table),
+            f"the total gold in {medal_table.caption} is 99",
+            context=medal_table.caption,
+        )
+        verdict, explanation = parse_verification_response(
+            verifier_llm.chat(prompt)
+        )
+        assert verdict == "refuted"
+        assert "19" in explanation  # the computed aggregate is shown
+
+    def test_claim_vs_wrong_year_table_not_related(self, verifier_llm, medal_table):
+        claim_context = "1984 summer games in lakeview medal table"
+        prompt = verification_prompt(
+            serialize_table(medal_table),
+            "the total gold in 1984 summer games in lakeview medal table is 19",
+            context=claim_context,
+        )
+        verdict, explanation = parse_verification_response(
+            verifier_llm.chat(prompt)
+        )
+        assert verdict == "not related"
+        assert "1960" in explanation or "1984" in explanation
+
+    def test_claim_vs_tuple(self, verifier_llm, medal_table):
+        prompt = verification_prompt(
+            serialize_row(medal_table.row(0)),
+            "the gold of valoria is 10",
+        )
+        verdict, _ = parse_verification_response(verifier_llm.chat(prompt))
+        assert verdict == "verified"
+
+    def test_claim_vs_text_fact_check(self, verifier_llm, tiny_lake):
+        page = tiny_lake.document("page-jenkins")
+        prompt = verification_prompt(
+            f"{page.title}\n{page.text}",
+            "the party of tom jenkins is democratic",
+        )
+        verdict, _ = parse_verification_response(verifier_llm.chat(prompt))
+        assert verdict == "refuted"

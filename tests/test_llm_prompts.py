@@ -1,0 +1,104 @@
+"""Prompt templates and response parsing."""
+
+import pytest
+
+from repro.llm.prompts import (
+    claim_question_prompt,
+    parse_boolean_response,
+    parse_completed_table,
+    parse_verification_response,
+    split_sections,
+    tuple_completion_prompt,
+    verification_prompt,
+)
+
+
+class TestTupleCompletionPrompt:
+    def test_structure(self):
+        prompt = tuple_completion_prompt(
+            "my table", ("a", "b"), [("1", "NaN")]
+        )
+        lines = prompt.splitlines()
+        assert lines[0] == "Question:"
+        assert lines[1] == "Table name: my table"
+        assert lines[2] == "a | b"
+        assert lines[3] == "1 | NaN"
+        assert lines[-1].startswith("Please fill")
+
+
+class TestVerificationPrompt:
+    def test_paper_template(self):
+        prompt = verification_prompt("EV", "DATA")
+        assert prompt.splitlines()[0].startswith("Please use the evidence")
+        assert "Evidence:" in prompt
+        assert "Generative Data:" in prompt
+        assert "Result: Verified/Refuted/Not Related" in prompt
+
+    def test_attribute_and_context_lines(self):
+        prompt = verification_prompt("EV", "DATA", attribute="votes",
+                                     context="scope here")
+        assert "Attribute to verify: votes" in prompt
+        assert "Context: scope here" in prompt
+
+    def test_split_sections_round_trip(self):
+        prompt = verification_prompt(
+            "line one\nline two", "the data", attribute="col", context="ctx"
+        )
+        sections = split_sections(prompt)
+        assert sections["evidence"] == "line one\nline two"
+        assert sections["data"] == "the data"
+        assert sections["attribute"] == "col"
+        assert sections["context"] == "ctx"
+
+    def test_split_sections_without_optionals(self):
+        sections = split_sections(verification_prompt("E", "D"))
+        assert sections["attribute"] is None
+        assert sections["context"] is None
+
+
+class TestClaimQuestionPrompt:
+    def test_structure(self):
+        prompt = claim_question_prompt("a claim", context="a scope")
+        assert "Statement: a claim" in prompt
+        assert "Context: a scope" in prompt
+        assert prompt.endswith("Answer with true or false.")
+
+    def test_no_context(self):
+        assert "Context:" not in claim_question_prompt("claim only")
+
+
+class TestResponseParsers:
+    def test_parse_verification(self):
+        verdict, explanation = parse_verification_response(
+            "Result: Refuted\nExplanation: values differ."
+        )
+        assert verdict == "refuted"
+        assert explanation == "values differ."
+
+    def test_parse_verification_case_insensitive(self):
+        verdict, _ = parse_verification_response("result: NOT RELATED")
+        assert verdict == "not related"
+
+    def test_parse_verification_missing(self):
+        verdict, text = parse_verification_response("free text with no verdict")
+        assert verdict is None
+        assert text
+
+    def test_parse_boolean(self):
+        assert parse_boolean_response("Answer: true\nbecause...") is True
+        assert parse_boolean_response("answer: FALSE") is False
+        assert parse_boolean_response("no answer here") is None
+
+    def test_parse_completed_table(self):
+        header, rows = parse_completed_table(
+            "a | b\n1 | 2\n3 | 4\ntrailing prose"
+        )
+        assert header == ("a", "b")
+        assert rows == [("1", "2"), ("3", "4")]
+
+    def test_parse_completed_table_ragged_rows_dropped(self):
+        header, rows = parse_completed_table("a | b\n1 | 2\nonly | one | extra")
+        assert rows == [("1", "2")]
+
+    def test_parse_completed_table_none(self):
+        assert parse_completed_table("no table at all") is None

@@ -1,0 +1,121 @@
+"""Evaluation metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.evaluation import (
+    ConfusionMatrix,
+    accuracy,
+    macro_recall_at_k,
+    mean_reciprocal_rank,
+    precision_recall_f1,
+    recall_at_k,
+)
+from repro.metrics.tables import format_table
+
+
+class TestRecallAtK:
+    def test_full_recall(self):
+        assert recall_at_k(["a", "b", "c"], ["a", "b"], 3) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k(["a", "x", "y"], ["a", "b"], 3) == 0.5
+
+    def test_k_truncates(self):
+        assert recall_at_k(["x", "a"], ["a"], 1) == 0.0
+
+    def test_empty_relevant(self):
+        assert recall_at_k(["a"], [], 3) == 1.0
+
+    def test_macro(self):
+        runs = [(["a"], ["a"]), (["x"], ["a"])]
+        assert macro_recall_at_k(runs, 1) == 0.5
+
+    def test_macro_empty(self):
+        assert macro_recall_at_k([], 3) == 0.0
+
+    @given(st.lists(st.text(max_size=3), max_size=10),
+           st.lists(st.text(max_size=3), max_size=5),
+           st.integers(min_value=1, max_value=10))
+    def test_range(self, retrieved, relevant, k):
+        assert 0.0 <= recall_at_k(retrieved, relevant, k) <= 1.0
+
+
+class TestMRR:
+    def test_first_hit(self):
+        assert mean_reciprocal_rank([(["a", "b"], ["a"])]) == 1.0
+
+    def test_second_hit(self):
+        assert mean_reciprocal_rank([(["x", "a"], ["a"])]) == 0.5
+
+    def test_no_hit(self):
+        assert mean_reciprocal_rank([(["x", "y"], ["a"])]) == 0.0
+
+    def test_empty(self):
+        assert mean_reciprocal_rank([]) == 0.0
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+    def test_empty(self):
+        assert accuracy([], []) == 0.0
+
+
+class TestPRF:
+    def test_perfect(self):
+        p, r, f = precision_recall_f1([1, 0], [1, 0], positive=1)
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_no_predictions_of_class(self):
+        p, r, f = precision_recall_f1([0, 0], [1, 0], positive=1)
+        assert p == 0.0 and r == 0.0 and f == 0.0
+
+    def test_precision_vs_recall(self):
+        # one true positive, one false positive, one false negative
+        p, r, f = precision_recall_f1([1, 1, 0], [1, 0, 1], positive=1)
+        assert p == 0.5 and r == 0.5
+
+
+class TestConfusionMatrix:
+    def test_accuracy(self):
+        cm = ConfusionMatrix()
+        cm.add("a", "a")
+        cm.add("a", "b")
+        cm.add("b", "b")
+        assert cm.accuracy == pytest.approx(2 / 3)
+        assert cm.total == 3
+
+    def test_labels_union(self):
+        cm = ConfusionMatrix()
+        cm.add("x", "y")
+        assert cm.labels() == ["x", "y"]
+
+    def test_render(self):
+        cm = ConfusionMatrix()
+        cm.add("gold", "pred")
+        rendered = cm.render()
+        assert "gold" in rendered and "pred" in rendered
+
+    def test_empty(self):
+        assert ConfusionMatrix().accuracy == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        rendered = format_table(
+            ["name", "value"], [["a", 0.123456], ["bb", 7]], title="T"
+        )
+        lines = rendered.splitlines()
+        assert lines[0] == "T"
+        assert "0.12" in rendered
+        assert "7" in rendered
+
+    def test_no_title(self):
+        rendered = format_table(["x"], [["1"]])
+        assert rendered.splitlines()[0].startswith("x")

@@ -1,0 +1,103 @@
+"""Verification lineage and generation logging."""
+
+import pytest
+
+from repro.index.base import SearchHit
+from repro.provenance.generation import GenerationLog
+from repro.provenance.store import ProvenanceStore
+from repro.verify.verdict import Verdict
+
+
+def make_record(store, object_id="obj-1"):
+    record = store.new_record(object_id, "the query text")
+    record.add_stage(
+        "coarse:tuple",
+        [SearchHit(0.9, "t1#r0"), SearchHit(0.5, "t1#r1")],
+    )
+    record.add_stage("rerank:tuple", [SearchHit(0.95, "t1#r0")])
+    record.add_outcome("t1#r0", "llm", Verdict.VERIFIED, "matches")
+    record.final_verdict = int(Verdict.VERIFIED)
+    record.final_margin = 1.0
+    return record
+
+
+class TestProvenanceStore:
+    def test_record_ids_sequential(self):
+        store = ProvenanceStore()
+        a = store.new_record("o1", "q")
+        b = store.new_record("o2", "q")
+        assert a.record_id != b.record_id
+        assert len(store) == 2
+
+    def test_records_for_object(self):
+        store = ProvenanceStore()
+        make_record(store, "obj-A")
+        make_record(store, "obj-A")
+        make_record(store, "obj-B")
+        assert len(store.records_for_object("obj-A")) == 2
+        assert store.records_for_object("missing") == []
+
+    def test_records_using_evidence(self):
+        store = ProvenanceStore()
+        record = make_record(store)
+        assert store.records_using_evidence("t1#r0") == [record]
+        assert store.records_using_evidence("t1#r1") == [record]  # retrieved
+        assert store.records_using_evidence("zzz") == []
+
+    def test_evidence_ids_deduplicated_in_order(self):
+        store = ProvenanceStore()
+        record = make_record(store)
+        assert record.evidence_ids() == ["t1#r0", "t1#r1"]
+
+    def test_explain_renders_stages_and_outcomes(self):
+        store = ProvenanceStore()
+        record = make_record(store)
+        rendered = store.explain(record.record_id)
+        assert "coarse:tuple" in rendered
+        assert "rerank:tuple" in rendered
+        assert "Verified" in rendered
+        assert "the query text" in rendered
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = ProvenanceStore()
+        make_record(store, "obj-A")
+        make_record(store, "obj-B")
+        path = tmp_path / "prov.json"
+        store.save(path)
+        loaded = ProvenanceStore.load(path)
+        assert len(loaded) == 2
+        assert loaded.records_for_object("obj-A")
+        # counter continues after reload
+        fresh = loaded.new_record("obj-C", "q")
+        assert fresh.record_id == "rec-000003"
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            ProvenanceStore().get("rec-000001")
+
+
+class TestGenerationLog:
+    def test_log_and_lookup(self):
+        log = GenerationLog()
+        record = log.log("prompt text", "response text", object_id="obj-1")
+        assert log.for_object("obj-1") is record
+        assert len(log) == 1
+
+    def test_link_verification(self):
+        log = GenerationLog()
+        log.log("p", "r", object_id="obj-1")
+        log.link_verification("obj-1", "rec-000001")
+        assert log.for_object("obj-1").verification_record_ids == ["rec-000001"]
+
+    def test_link_unknown_object_noop(self):
+        log = GenerationLog()
+        log.link_verification("missing", "rec-000001")  # must not raise
+
+    def test_for_object_missing(self):
+        assert GenerationLog().for_object("nope") is None
+
+    def test_records_listing(self):
+        log = GenerationLog()
+        log.log("p1", "r1")
+        log.log("p2", "r2")
+        assert len(log.records()) == 2

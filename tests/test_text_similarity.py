@@ -1,0 +1,154 @@
+"""String/token similarity measures and their invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text import (
+    cosine_token_similarity,
+    jaccard,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_ratio,
+    ngrams,
+    trigram_similarity,
+)
+from repro.text.similarity import jaro, token_overlap
+
+short_text = st.text(max_size=25)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty_vs_word(self):
+        assert levenshtein("", "abc") == 3
+
+    def test_substitution(self):
+        assert levenshtein("cat", "car") == 1
+
+    def test_insertion(self):
+        assert levenshtein("cat", "cart") == 1
+
+    @given(short_text, short_text)
+    def test_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text)
+    def test_zero_iff_equal(self, a, b):
+        assert (levenshtein(a, b) == 0) == (a == b)
+
+
+class TestLevenshteinRatio:
+    def test_identical(self):
+        assert levenshtein_ratio("abc", "abc") == 1.0
+
+    def test_both_empty(self):
+        assert levenshtein_ratio("", "") == 1.0
+
+    @given(short_text, short_text)
+    def test_range(self, a, b):
+        assert 0.0 <= levenshtein_ratio(a, b) <= 1.0
+
+
+class TestJaroWinkler:
+    def test_identical(self):
+        assert jaro_winkler("martha", "martha") == 1.0
+
+    def test_classic_example(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_prefix_boost(self):
+        assert jaro_winkler("prefixed", "prefixes") > jaro("prefixed", "prefixes")
+
+    def test_disjoint(self):
+        assert jaro_winkler("abc", "xyz") == 0.0
+
+    @given(short_text, short_text)
+    def test_range(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0 + 1e-12
+
+    @given(short_text, short_text)
+    def test_symmetric(self, a, b):
+        assert jaro(a, b) == pytest.approx(jaro(b, a))
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(["a"], ["b"]) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard([], []) == 1.0
+
+    @given(st.lists(st.text(max_size=5)), st.lists(st.text(max_size=5)))
+    def test_range_and_symmetry(self, a, b):
+        value = jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard(b, a)
+
+
+class TestNgrams:
+    def test_padded(self):
+        assert sorted(ngrams("ab", 3)) == ["$$a", "$ab", "ab$", "b$$"]
+
+    def test_unpadded(self):
+        assert ngrams("abcd", 3, pad=False) == {"abc", "bcd"}
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", 0)
+
+    def test_empty_string(self):
+        grams = ngrams("", 3)
+        assert grams == {"$$$$"} or all("$" in g for g in grams)
+
+
+class TestTrigramSimilarity:
+    def test_identical(self):
+        assert trigram_similarity("ohio", "ohio") == 1.0
+
+    def test_typo_still_similar(self):
+        assert trigram_similarity("jenkins", "jenkinz") > 0.4
+
+    def test_unrelated(self):
+        assert trigram_similarity("aaaa", "zzzz") == 0.0
+
+    @given(short_text, short_text)
+    def test_range(self, a, b):
+        assert 0.0 <= trigram_similarity(a, b) <= 1.0
+
+
+class TestCosineTokens:
+    def test_identical(self):
+        assert cosine_token_similarity(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert cosine_token_similarity([], ["a"]) == 0.0
+
+    def test_orthogonal(self):
+        assert cosine_token_similarity(["a"], ["b"]) == 0.0
+
+    @given(st.lists(st.sampled_from("abcde"), max_size=10),
+           st.lists(st.sampled_from("abcde"), max_size=10))
+    def test_range(self, a, b):
+        assert -1e-9 <= cosine_token_similarity(a, b) <= 1.0 + 1e-9
+
+
+class TestTokenOverlap:
+    def test_full(self):
+        count, fraction = token_overlap(["a", "b"], ["a", "b", "c"])
+        assert count == 2 and fraction == 1.0
+
+    def test_empty_query(self):
+        assert token_overlap([], ["a"]) == (0, 0.0)

@@ -1,0 +1,47 @@
+"""Suffix-stripping stemmer."""
+
+from hypothesis import given, strategies as st
+
+from repro.text import stem
+
+
+class TestStem:
+    def test_plural(self):
+        assert stem("elections") == "election"
+
+    def test_ies_plural(self):
+        assert stem("cities") == "city"
+
+    def test_doubled_consonant_ing(self):
+        assert stem("running") == "run"
+
+    def test_ed(self):
+        assert stem("elected") == "elect"
+
+    def test_ly(self):
+        assert stem("quickly") == "quick"
+
+    def test_short_words_untouched(self):
+        assert stem("is") == "is"
+        assert stem("was") == "was"
+
+    def test_ss_not_stripped(self):
+        assert stem("glass") == "glass"
+
+    def test_us_not_stripped(self):
+        assert stem("status") == "status"
+
+    def test_possessive(self):
+        assert stem("jordan's") == "jordan"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+    def test_never_longer_and_never_empty(self, word):
+        result = stem(word)
+        assert 0 < len(result) <= len(word) + 1  # ies->y can shorten by 2
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=4, max_size=15))
+    def test_idempotent_on_common_forms(self, word):
+        # stemming a stem of an -s plural is stable
+        plural = word + "s" if not word.endswith(("s",)) else word
+        once = stem(plural)
+        assert stem(once) == stem(once)

@@ -1,0 +1,141 @@
+"""Trust estimation and trust-weighted voting."""
+
+import pytest
+
+from repro.trust.model import (
+    Observation,
+    TrustModel,
+    ValueClaim,
+    ValueTrustModel,
+    weighted_vote,
+)
+from repro.verify.verdict import Verdict
+
+
+class TestTrustModel:
+    def test_unanimous_sources_fully_trusted(self):
+        observations = [
+            Observation("s1", f"o{i}", Verdict.VERIFIED) for i in range(10)
+        ] + [
+            Observation("s2", f"o{i}", Verdict.VERIFIED) for i in range(10)
+        ]
+        scores = TrustModel().fit(observations)
+        assert scores.trust_of("s1") > 0.9
+        assert scores.trust_of("s2") > 0.9
+        assert all(p > 0.9 for p in scores.object_truth.values())
+
+    def test_contrarian_source_downweighted(self):
+        observations = []
+        for i in range(20):
+            observations.append(Observation("good-a", f"o{i}", Verdict.VERIFIED))
+            observations.append(Observation("good-b", f"o{i}", Verdict.VERIFIED))
+            observations.append(Observation("bad", f"o{i}", Verdict.REFUTED))
+        scores = TrustModel().fit(observations)
+        assert scores.trust_of("bad") < scores.trust_of("good-a") - 0.2
+
+    def test_not_related_excluded(self):
+        observations = [
+            Observation("s", "o1", Verdict.NOT_RELATED),
+        ]
+        scores = TrustModel().fit(observations)
+        assert scores.object_truth == {}
+
+    def test_empty(self):
+        scores = TrustModel().fit([])
+        assert scores.iterations == 0
+        assert scores.trust_of("unknown") == 0.5
+
+    def test_converges(self):
+        observations = [
+            Observation("a", "o1", Verdict.VERIFIED),
+            Observation("b", "o1", Verdict.REFUTED),
+        ]
+        scores = TrustModel(max_iterations=100).fit(observations)
+        assert scores.iterations < 100
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TrustModel(max_iterations=0)
+        with pytest.raises(ValueError):
+            TrustModel(prior_trust=1.0)
+
+
+class TestValueTrustModel:
+    def test_agreeing_sources_beat_loner(self):
+        claims = []
+        for i in range(30):
+            claims.append(ValueClaim("clean-a", f"f{i}", "right"))
+            claims.append(ValueClaim("clean-b", f"f{i}", "right"))
+            claims.append(ValueClaim("noisy", f"f{i}", f"wrong-{i}"))
+        scores = ValueTrustModel().fit(claims)
+        assert scores.trust_of("clean-a") > scores.trust_of("noisy") + 0.3
+
+    def test_independent_corruptions_disagree(self):
+        """Two garbage sources disagree with each other and earn less
+        trust than a source corroborated by anyone."""
+        claims = []
+        for i in range(30):
+            claims.append(ValueClaim("clean-a", f"f{i}", "v"))
+            claims.append(ValueClaim("clean-b", f"f{i}", "v"))
+            claims.append(ValueClaim("junk-a", f"f{i}", f"x{i}"))
+            claims.append(ValueClaim("junk-b", f"f{i}", f"y{i}"))
+        scores = ValueTrustModel().fit(claims)
+        assert scores.trust_of("junk-a") < scores.trust_of("clean-a") - 0.3
+        assert scores.trust_of("junk-b") < scores.trust_of("clean-b") - 0.3
+
+    def test_single_claim_facts_skipped(self):
+        scores = ValueTrustModel().fit([ValueClaim("solo", "f1", "v")])
+        # no corroboration possible -> trust stays at the prior
+        assert scores.trust_of("solo") == pytest.approx(0.7, abs=0.01)
+
+    def test_object_truth_confidence(self):
+        claims = [
+            ValueClaim("a", "f1", "v"),
+            ValueClaim("b", "f1", "v"),
+            ValueClaim("c", "f1", "w"),
+        ]
+        scores = ValueTrustModel().fit(claims)
+        assert scores.object_truth["f1"] > 0.5
+
+
+class TestWeightedVote:
+    def test_uniform_majority(self):
+        verdict, margin = weighted_vote(
+            [("s1", Verdict.VERIFIED), ("s2", Verdict.VERIFIED),
+             ("s3", Verdict.REFUTED)],
+            {},
+            default_trust=1.0,
+        )
+        assert verdict is Verdict.VERIFIED
+        assert margin == pytest.approx(1 / 3)
+
+    def test_trust_flips_outcome(self):
+        votes = [
+            ("trusted", Verdict.VERIFIED),
+            ("junk-a", Verdict.REFUTED),
+            ("junk-b", Verdict.REFUTED),
+        ]
+        uniform, _ = weighted_vote(votes, {}, default_trust=1.0)
+        weighted, _ = weighted_vote(
+            votes, {"trusted": 0.9, "junk-a": 0.1, "junk-b": 0.1}
+        )
+        assert uniform is Verdict.REFUTED
+        assert weighted is Verdict.VERIFIED
+
+    def test_abstentions_only(self):
+        verdict, margin = weighted_vote(
+            [("s", Verdict.NOT_RELATED)], {}, default_trust=1.0
+        )
+        assert verdict is Verdict.NOT_RELATED
+        assert margin == 0.0
+
+    def test_empty(self):
+        assert weighted_vote([], {})[0] is Verdict.NOT_RELATED
+
+    def test_tie_goes_to_verified(self):
+        verdict, margin = weighted_vote(
+            [("a", Verdict.VERIFIED), ("b", Verdict.REFUTED)], {},
+            default_trust=1.0,
+        )
+        assert verdict is Verdict.VERIFIED
+        assert margin == 0.0

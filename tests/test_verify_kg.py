@@ -1,0 +1,77 @@
+"""(text, KG entity) verification prototype."""
+
+import pytest
+
+from repro.datalake.kg import KnowledgeGraph
+from repro.verify.kg_verifier import KGVerifier
+from repro.verify.objects import ClaimObject, TupleObject
+from repro.verify.verdict import Verdict
+
+
+@pytest.fixture()
+def entity():
+    kg = KnowledgeGraph()
+    kg.add("tom jenkins", "party", "republican")
+    kg.add("tom jenkins", "district", "ohio 1")
+    kg.add("tom jenkins", "votes", "102,000")
+    return kg.entity("tom jenkins")
+
+
+@pytest.fixture()
+def verifier():
+    return KGVerifier()
+
+
+class TestKGVerifier:
+    def test_supports(self, entity, verifier):
+        claim = ClaimObject("c", "x")
+        assert verifier.supports(claim, entity)
+
+    def test_verifies_true_triple(self, entity, verifier):
+        claim = ClaimObject("c", "the party of tom jenkins is republican")
+        outcome = verifier.verify(claim, entity)
+        assert outcome.verdict is Verdict.VERIFIED
+        assert outcome.verifier == "kg"
+
+    def test_refutes_false_triple(self, entity, verifier):
+        claim = ClaimObject("c", "the party of tom jenkins is democratic")
+        assert verifier.verify(claim, entity).verdict is Verdict.REFUTED
+
+    def test_numeric_value_matching(self, entity, verifier):
+        claim = ClaimObject("c", "the votes of tom jenkins is 102000")
+        assert verifier.verify(claim, entity).verdict is Verdict.VERIFIED
+
+    def test_wrong_subject_not_related(self, entity, verifier):
+        claim = ClaimObject("c", "the party of anne clark is democratic")
+        assert verifier.verify(claim, entity).verdict is Verdict.NOT_RELATED
+
+    def test_unknown_predicate_not_related(self, entity, verifier):
+        claim = ClaimObject("c", "the birthplace of tom jenkins is springfield")
+        assert verifier.verify(claim, entity).verdict is Verdict.NOT_RELATED
+
+    def test_non_lookup_claim_not_related(self, entity, verifier):
+        claim = ClaimObject("c", "tom jenkins has the highest votes in ohio")
+        assert verifier.verify(claim, entity).verdict is Verdict.NOT_RELATED
+
+    def test_unparseable_claim_not_related(self, entity, verifier):
+        claim = ClaimObject("c", "freeform sentence outside every grammar")
+        assert verifier.verify(claim, entity).verdict is Verdict.NOT_RELATED
+
+    def test_wrong_pair_raises(self, entity, verifier, election_table):
+        with pytest.raises(TypeError):
+            verifier.verify(TupleObject("t", election_table.row(0)), entity)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            KGVerifier(predicate_threshold=0.0)
+
+    def test_agent_routes_kg_pairs(self, entity, verifier, quiet_profile):
+        from repro.llm.model import SimulatedLLM
+        from repro.verify.agent import VerifierAgent
+        from repro.verify.llm_verifier import LLMVerifier
+
+        llm = LLMVerifier(SimulatedLLM(knowledge=None, profile=quiet_profile))
+        agent = VerifierAgent([verifier], fallback=llm, prefer_local=True)
+        claim = ClaimObject("c", "the party of tom jenkins is republican")
+        assert agent.choose(claim, entity) is verifier
+        assert agent.verify(claim, entity).verdict is Verdict.VERIFIED

@@ -1,0 +1,103 @@
+"""The trained (tuple, tuple) classifier."""
+
+import pytest
+
+from repro.verify.objects import TupleObject
+from repro.verify.tuple_verifier import (
+    TupleVerifier,
+    pair_features,
+    training_pairs_from_tables,
+)
+from repro.verify.verdict import Verdict
+
+
+@pytest.fixture(scope="module")
+def trained(small_bundle):
+    pairs = training_pairs_from_tables(small_bundle.tables, num_pairs=300, seed=4)
+    return TupleVerifier(seed=4).train(pairs)
+
+
+class TestTrainingPairs:
+    def test_balanced_labels(self, small_bundle):
+        pairs = training_pairs_from_tables(small_bundle.tables, num_pairs=100)
+        labels = [label for _, _, label in pairs]
+        assert abs(labels.count(True) - labels.count(False)) <= 1
+
+    def test_positive_pairs_share_value(self, small_bundle):
+        pairs = training_pairs_from_tables(small_bundle.tables, num_pairs=50)
+        for obj, row, label in pairs:
+            if label:
+                assert obj.row.get(obj.attribute) == row.get(obj.attribute)
+            else:
+                assert obj.row.get(obj.attribute) != row.get(obj.attribute)
+
+    def test_empty_tables(self):
+        assert training_pairs_from_tables([], num_pairs=10) == []
+
+
+class TestFeatures:
+    def test_identical_pair_maximal(self, election_table):
+        row = election_table.row(0)
+        obj = TupleObject("o", row, attribute="party")
+        feats = pair_features(obj, row)
+        assert feats[0] == pytest.approx(1.0)  # identity overlap
+        assert feats[2] == pytest.approx(1.0)  # value similarity
+        assert feats[3] == 1.0                 # exact
+
+    def test_wrong_value_lowers_value_features(self, election_table):
+        row = election_table.row(0)
+        wrong = row.replace_value("party", "democratic")
+        obj = TupleObject("o", wrong, attribute="party")
+        feats = pair_features(obj, row)
+        assert feats[2] < 0.9
+        assert feats[3] == 0.0
+
+
+class TestTrainedVerifier:
+    def test_untrained_predict_raises(self, election_table):
+        verifier = TupleVerifier()
+        obj = TupleObject("o", election_table.row(0), "party")
+        with pytest.raises(RuntimeError):
+            verifier.predict_proba(obj, election_table.row(0))
+
+    def test_train_empty_raises(self):
+        with pytest.raises(ValueError):
+            TupleVerifier().train([])
+
+    def test_verifies_true_value(self, trained, election_table):
+        row = election_table.row(0)
+        obj = TupleObject("o", row, attribute="party")
+        assert trained.verify(obj, row).verdict is Verdict.VERIFIED
+
+    def test_refutes_wrong_value(self, trained, election_table):
+        row = election_table.row(0)
+        wrong = row.replace_value("votes", "9,999,999")
+        obj = TupleObject("o", wrong, attribute="votes")
+        assert trained.verify(obj, row).verdict is Verdict.REFUTED
+
+    def test_not_related_gate(self, trained, election_table, medal_table):
+        obj = TupleObject("o", election_table.row(0), attribute="party")
+        outcome = trained.verify(obj, medal_table.row(0))
+        assert outcome.verdict is Verdict.NOT_RELATED
+
+    def test_held_out_accuracy(self, trained, small_bundle):
+        """The classifier generalizes to pairs it never saw in training."""
+        held_out = training_pairs_from_tables(
+            small_bundle.tables, num_pairs=120, seed=99
+        )
+        correct = 0
+        for obj, row, label in held_out:
+            probability = trained.predict_proba(obj, row)
+            if (probability >= 0.5) == label:
+                correct += 1
+        assert correct / len(held_out) >= 0.8
+
+    def test_wrong_pair_type_raises(self, trained, election_table):
+        obj = TupleObject("o", election_table.row(0), "party")
+        with pytest.raises(TypeError):
+            trained.verify(obj, election_table)
+
+    def test_supports(self, trained, election_table):
+        obj = TupleObject("o", election_table.row(0), "party")
+        assert trained.supports(obj, election_table.row(0))
+        assert not trained.supports(obj, election_table)

@@ -1,0 +1,227 @@
+"""Synthetic corpus generation: tables, pages, bundles, workloads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.builder import LakeConfig, build_lake
+from repro.workloads.claimwl import build_claim_workload
+from repro.workloads.tables import DOMAINS, WebTableGenerator
+from repro.workloads.textgen import EntityPageGenerator
+from repro.workloads.tuplecomp import build_tuple_workload
+from repro.workloads.vocab import EntityNamer, Vocabulary
+
+
+class TestEntityNamer:
+    def test_unique(self):
+        namer = EntityNamer(seed=0)
+        names = namer.take(500)
+        assert len(set(names)) == 500
+
+    def test_deterministic(self):
+        assert EntityNamer(seed=3).take(20) == EntityNamer(seed=3).take(20)
+
+    def test_overflow_adds_initials(self):
+        namer = EntityNamer(seed=0)
+        base_size = len(namer._base)
+        names = namer.take(base_size + 5)
+        assert len(set(names)) == base_size + 5
+        assert any(". " in name for name in names[-5:])
+
+
+class TestVocabulary:
+    def test_film_titles_unique(self):
+        vocab = Vocabulary(seed=1)
+        titles = [vocab.film_title() for _ in range(200)]
+        assert len(set(titles)) == 200
+
+    def test_deterministic(self):
+        a = Vocabulary(seed=2)
+        b = Vocabulary(seed=2)
+        assert [a.team_name() for _ in range(10)] == [
+            b.team_name() for _ in range(10)
+        ]
+
+
+class TestWebTableGenerator:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return WebTableGenerator(seed=5).generate(120)
+
+    def test_count(self, tables):
+        assert len(tables) == 120
+
+    def test_unique_ids(self, tables):
+        ids = [t.table_id for t in tables]
+        assert len(set(ids)) == len(ids)
+
+    def test_unique_captions(self, tables):
+        captions = [t.caption for t in tables]
+        assert len(set(captions)) == len(captions)
+
+    def test_all_domains_present(self, tables):
+        domains = {t.metadata["domain"] for t in tables}
+        assert domains == set(DOMAINS)
+
+    def test_schema_consistency(self, tables):
+        for table in tables:
+            assert table.key_column in table.columns
+            for column in table.entity_columns:
+                assert column in table.columns
+            for row in table.rows:
+                assert len(row) == table.num_columns
+
+    def test_key_values_unique_within_table(self, tables):
+        for table in tables:
+            keys = table.column_values(table.key_column)
+            assert len(set(keys)) == len(keys), table.table_id
+
+    def test_olympics_totals_consistent(self, tables):
+        for table in tables:
+            if table.metadata["domain"] != "olympics":
+                continue
+            for row in table.iter_rows():
+                total = row.numeric("gold") + row.numeric("silver") + row.numeric("bronze")
+                assert total == row.numeric("total")
+
+    def test_deterministic(self):
+        a = WebTableGenerator(seed=8).generate(10)
+        b = WebTableGenerator(seed=8).generate(10)
+        assert [t.caption for t in a] == [t.caption for t in b]
+        assert [t.rows for t in a] == [t.rows for t in b]
+
+    def test_domain_mix_respected(self):
+        generator = WebTableGenerator(seed=9)
+        tables = generator.generate(30, domain_mix={"films": 1.0})
+        assert all(t.metadata["domain"] == "films" for t in tables)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            WebTableGenerator(seed=1).generate(5, domain_mix={"nope": 1.0})
+
+    def test_entities_recorded_with_peers(self, tables):
+        generator = WebTableGenerator(seed=5)
+        generator.generate(30)
+        with_peers = [e for e in generator.entities.values() if e.peers]
+        assert with_peers
+
+
+class TestEntityPageGenerator:
+    def test_pages_cover_entities(self):
+        generator = WebTableGenerator(seed=6)
+        generator.generate(20)
+        pages = EntityPageGenerator(seed=1).generate(generator.entities)
+        assert len(pages) == len(generator.entities)
+        assert all(p.entity for p in pages)
+
+    def test_page_mentions_entity_facts(self):
+        generator = WebTableGenerator(seed=7)
+        tables = generator.generate(10, domain_mix={"elections": 1.0})
+        pages = EntityPageGenerator(seed=1).generate(generator.entities)
+        by_entity = {p.entity.lower(): p for p in pages}
+        table = tables[0]
+        row = table.row(0)
+        page = by_entity[row.get("incumbent").lower()]
+        assert row.get("votes") in page.text
+        assert row.get("party") in page.text.lower()
+
+    def test_boilerplate_level(self):
+        generator = WebTableGenerator(seed=7)
+        generator.generate(5, domain_mix={"elections": 1.0})
+        bare = EntityPageGenerator(seed=1, boilerplate_level=0,
+                                   cross_mention_rate=0.0)
+        padded = EntityPageGenerator(seed=1, boilerplate_level=4,
+                                     cross_mention_rate=0.0)
+        bare_pages = bare.generate(generator.entities)
+        padded_pages = padded.generate(generator.entities)
+        assert sum(len(p.text) for p in padded_pages) > sum(
+            len(p.text) for p in bare_pages
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EntityPageGenerator(boilerplate_level=-1)
+        with pytest.raises(ValueError):
+            EntityPageGenerator(cross_mention_rate=2.0)
+
+
+class TestBuildLake:
+    def test_bundle_structure(self, small_bundle):
+        stats = small_bundle.lake.stats()
+        assert stats.num_tables == 60
+        assert stats.num_text_files == len(small_bundle.entity_page)
+        assert stats.num_kg_entities > 0
+
+    def test_entity_pages_resolvable(self, small_bundle):
+        for entity, doc_id in list(small_bundle.entity_page.items())[:20]:
+            doc = small_bundle.lake.document(doc_id)
+            assert doc.entity.lower() == entity
+
+    def test_relevant_pages_for_row(self, small_bundle):
+        for table in small_bundle.tables[:10]:
+            for row in table.iter_rows():
+                pages = small_bundle.relevant_pages_for_row(row)
+                assert pages, f"no relevant page for {row.instance_id}"
+                for doc_id in pages:
+                    assert doc_id in small_bundle.lake
+
+    def test_deterministic(self):
+        a = build_lake(LakeConfig(num_tables=10, seed=3))
+        b = build_lake(LakeConfig(num_tables=10, seed=3))
+        assert [t.caption for t in a.tables] == [t.caption for t in b.tables]
+        assert sorted(a.entity_page) == sorted(b.entity_page)
+
+    def test_kg_optional(self):
+        bundle = build_lake(LakeConfig(num_tables=5, seed=3, build_kg=False))
+        assert bundle.lake.stats().num_kg_entities == 0
+
+
+class TestTupleWorkload:
+    def test_tasks_have_counterparts(self, small_bundle):
+        workload = build_tuple_workload(small_bundle, num_tasks=30, seed=1)
+        assert len(workload) == 30
+        for task in workload:
+            lake_row = small_bundle.lake.instance(task.row.instance_id)
+            assert lake_row.get(task.column) == task.true_value
+
+    def test_key_and_entity_columns_never_blanked(self, small_bundle):
+        workload = build_tuple_workload(small_bundle, num_tasks=40, seed=2)
+        for task in workload:
+            table = small_bundle.lake.table(task.row.table_id)
+            assert task.column != table.key_column
+            assert task.column not in table.entity_columns
+
+    def test_masked_row(self, small_bundle):
+        task = build_tuple_workload(small_bundle, num_tasks=1, seed=3).tasks[0]
+        assert task.masked_row().get(task.column) == "NaN"
+        assert task.completed_row("X").get(task.column) == "X"
+
+    def test_deterministic(self, small_bundle):
+        a = build_tuple_workload(small_bundle, num_tasks=10, seed=4)
+        b = build_tuple_workload(small_bundle, num_tasks=10, seed=4)
+        assert [t.task_id for t in a] == [t.task_id for t in b]
+        assert [t.true_value for t in a] == [t.true_value for t in b]
+
+    def test_invalid_count(self, small_bundle):
+        with pytest.raises(ValueError):
+            build_tuple_workload(small_bundle, num_tasks=-1)
+
+
+class TestClaimWorkload:
+    def test_size_and_balance(self, small_bundle):
+        workload = build_claim_workload(small_bundle, num_claims=40, seed=5)
+        assert len(workload) == 40
+        assert 0.4 <= workload.positive_fraction <= 0.6
+
+    def test_source_tables_exist(self, small_bundle):
+        workload = build_claim_workload(small_bundle, num_claims=20, seed=6)
+        for task in workload:
+            assert task.table_id in small_bundle.lake
+
+    def test_deterministic(self, small_bundle):
+        a = build_claim_workload(small_bundle, num_claims=15, seed=7)
+        b = build_claim_workload(small_bundle, num_claims=15, seed=7)
+        assert [t.claim.text for t in a] == [t.claim.text for t in b]
+
+    def test_invalid_count(self, small_bundle):
+        with pytest.raises(ValueError):
+            build_claim_workload(small_bundle, num_claims=-1)

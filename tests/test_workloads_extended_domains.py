@@ -1,0 +1,111 @@
+"""Extended (opt-in) domains: aviation and books."""
+
+import pytest
+
+from repro.claims.engine import TableQueryEngine
+from repro.claims.generator import ClaimGenerator
+from repro.workloads.tables import DOMAINS, EXTENDED_DOMAINS, WebTableGenerator
+from repro.workloads.textgen import EntityPageGenerator
+
+
+@pytest.fixture(scope="module")
+def generator():
+    gen = WebTableGenerator(seed=42)
+    gen.generate(
+        30, domain_mix={"aviation": 1.0, "books": 1.0}
+    )
+    return gen
+
+
+class TestRegistration:
+    def test_extended_not_in_default_mix(self):
+        assert set(DOMAINS) & set(EXTENDED_DOMAINS) == set()
+
+    def test_default_generation_unchanged(self):
+        """Adding extended domains must not perturb the default corpus."""
+        tables = WebTableGenerator(seed=5).generate(20)
+        domains = {t.metadata["domain"] for t in tables}
+        assert domains <= set(DOMAINS)
+
+
+class TestAviationTables:
+    def test_schema(self, generator):
+        tables = [
+            t for t in generator.generate(5, domain_mix={"aviation": 1.0})
+        ]
+        for table in tables:
+            assert table.columns == ("airport", "city", "passengers",
+                                     "runways")
+            assert table.key_column == "airport"
+            assert "busiest airports" in table.caption
+
+    def test_numeric_columns_parse(self, generator):
+        table = generator.generate(1, domain_mix={"aviation": 1.0})[0]
+        assert all(n is not None for n in table.column_numbers("passengers"))
+        assert all(n is not None for n in table.column_numbers("runways"))
+
+    def test_claims_generate(self, generator):
+        table = generator.generate(1, domain_mix={"aviation": 1.0})[0]
+        claims = ClaimGenerator(seed=1).generate_for_table(table, 4)
+        engine = TableQueryEngine()
+        assert claims
+        for generated in claims:
+            assert engine.execute(
+                generated.claim.spec, table
+            ).verdict == generated.label
+
+
+class TestBooksTables:
+    def test_schema(self, generator):
+        table = generator.generate(1, domain_mix={"books": 1.0})[0]
+        assert "bibliography" in table.caption
+        assert table.entity_columns == ("title", "publisher")
+
+    def test_years_increase(self, generator):
+        table = generator.generate(1, domain_mix={"books": 1.0})[0]
+        years = [n for n in table.column_numbers("year published")]
+        assert years == sorted(years)
+
+
+class TestExtendedPages:
+    def test_pages_render(self, generator):
+        pages = EntityPageGenerator(seed=1).generate(generator.entities)
+        kinds = {p.metadata["kind"] for p in pages}
+        assert {"airport", "book", "publisher"} <= kinds
+
+    def test_airport_page_facts(self, generator):
+        pages = EntityPageGenerator(seed=1, cross_mention_rate=0.0).generate(
+            generator.entities
+        )
+        airport_pages = [p for p in pages if p.metadata["kind"] == "airport"]
+        assert airport_pages
+        page = airport_pages[0]
+        assert "passengers" in page.text
+        assert "runways" in page.text
+
+    def test_extended_lake_end_to_end(self, quiet_profile):
+        """The full pipeline works on an extended-domain corpus."""
+        from repro.core.pipeline import VerifAI
+        from repro.datalake.lake import DataLake
+        from repro.llm.model import SimulatedLLM
+        from repro.verify.objects import TupleObject
+        from repro.verify.verdict import Verdict
+
+        gen = WebTableGenerator(seed=9)
+        tables = gen.generate(
+            10, domain_mix={"aviation": 1.0, "books": 1.0}
+        )
+        lake = DataLake("extended")
+        for table in tables:
+            lake.add_table(table)
+        for doc in EntityPageGenerator(seed=2).generate(gen.entities):
+            lake.add_document(doc)
+        llm = SimulatedLLM(knowledge=None, profile=quiet_profile, seed=10)
+        system = VerifAI(lake, llm=llm).build_indexes()
+        table = tables[0]
+        column = "passengers" if table.has_column("passengers") else "pages"
+        wrong = table.row(0).replace_value(column, "1,234,567")
+        report = system.verify(
+            TupleObject("x1", wrong, attribute=column)
+        )
+        assert report.final_verdict is Verdict.REFUTED

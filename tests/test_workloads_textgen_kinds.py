@@ -1,0 +1,112 @@
+"""Per-kind entity page rendering (including concept pages)."""
+
+import pytest
+
+from repro.workloads.tables import Entity
+from repro.workloads.textgen import EntityPageGenerator, _fact_sentences
+
+
+def page_for(entity):
+    return EntityPageGenerator(seed=0, cross_mention_rate=0.0).page_for(
+        entity, doc_id="p0"
+    )
+
+
+class TestPersonKinds:
+    def test_politician_page(self):
+        entity = Entity("tom jenkins", "politician", True)
+        entity.add_appearance(
+            district="ohio 1", party="republican", first_elected="1946",
+            result="re-elected", votes="102,000", year="1950", state="ohio",
+        )
+        page = page_for(entity)
+        assert page.title == "Tom Jenkins"
+        assert "republican" in page.text
+        assert "102,000" in page.text
+        assert "ohio 1" in page.text
+
+    def test_player_page(self):
+        entity = Entity("anna carter", "player", True)
+        entity.add_appearance(
+            team="salem hawks", position="guard", games="75",
+            points="18.3", rebounds="4.1", year="1994",
+        )
+        page = page_for(entity)
+        assert "guard" in page.text
+        assert "18.3" in page.text
+
+    def test_actor_page(self):
+        entity = Entity("amy wilson", "actor", True)
+        entity.add_appearance(
+            film="the crimson harbor", role="the detective", year="1990",
+            genre="mystery", billing="1",
+        )
+        page = page_for(entity)
+        assert "the crimson harbor" in page.text
+        assert "the detective" in page.text
+
+
+class TestConceptKinds:
+    def test_party_page(self):
+        entity = Entity("republican", "party", False)
+        entity.add_appearance(incumbent="tom jenkins", state="ohio",
+                              year="1950")
+        page = page_for(entity)
+        assert "Tom Jenkins" in page.text
+        assert "party" in page.text.lower()
+
+    def test_position_page(self):
+        entity = Entity("guard", "position", False)
+        entity.add_appearance(player="anna carter", team="salem hawks")
+        page = page_for(entity)
+        assert "Anna Carter" in page.text
+
+    def test_role_page(self):
+        entity = Entity("the detective", "role", False)
+        entity.add_appearance(actor="amy wilson", film="the crimson harbor",
+                              genre="mystery")
+        page = page_for(entity)
+        assert "Amy Wilson" in page.text
+        assert "stock character" in page.text
+
+    def test_unknown_kind_rejected(self):
+        entity = Entity("x", "alien", False)
+        entity.add_appearance(foo="bar")
+        with pytest.raises(ValueError):
+            _fact_sentences(entity, entity.appearances[0])
+
+
+class TestCrossMentions:
+    def test_peer_mentions_appear(self):
+        entity = Entity("tom jenkins", "politician", True,
+                        peers=["bill hess", "anne clark"])
+        entity.add_appearance(
+            district="ohio 1", party="republican", first_elected="1946",
+            result="re-elected", votes="102,000", year="1950", state="ohio",
+        )
+        generator = EntityPageGenerator(seed=0, cross_mention_rate=1.0)
+        page = generator.page_for(entity, doc_id="p1")
+        assert "Bill Hess" in page.text
+        assert "Anne Clark" in page.text
+
+    def test_no_mentions_at_zero_rate(self):
+        entity = Entity("tom jenkins", "politician", True,
+                        peers=["bill hess"])
+        entity.add_appearance(
+            district="ohio 1", party="republican", first_elected="1946",
+            result="re-elected", votes="102,000", year="1950", state="ohio",
+        )
+        generator = EntityPageGenerator(seed=0, cross_mention_rate=0.0)
+        page = generator.page_for(entity, doc_id="p2")
+        assert "Bill Hess" not in page.text
+
+    def test_appearance_cap(self):
+        entity = Entity("valoria", "nation", False)
+        for year in range(1948, 1968, 2):
+            entity.add_appearance(
+                year=str(year), gold="5", silver="5", bronze="5", total="15",
+            )
+        generator = EntityPageGenerator(seed=0, max_appearances=2,
+                                        cross_mention_rate=0.0)
+        page = generator.page_for(entity, doc_id="p3")
+        assert page.text.count("summer games") == 2
