@@ -1,6 +1,6 @@
 # Convenience targets for the VerifAI reproduction.
 
-.PHONY: install test bench bench-paper experiments examples lint
+.PHONY: install test bench bench-batch bench-paper experiments examples lint
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,6 +10,10 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-batch:
+	pytest benchmarks/test_bench_batch.py --benchmark-only \
+		--benchmark-json=BENCH_batch.json
 
 bench-paper:
 	REPRO_SCALE=paper pytest benchmarks/ --benchmark-only

@@ -1,0 +1,96 @@
+"""Batch-engine benchmarks.
+
+Two comparisons the PR cares about:
+
+* sealed (vectorized) vs dict BM25 search throughput on the medium
+  tuple index;
+* ``verify_batch`` through the batch engine, serial vs parallel
+  workers, each on a freshly built system so verifier-cache warmth
+  cannot flatter later rounds.
+
+``make bench-batch`` runs this file; the recorded baseline lives in
+``BENCH_batch.json``.
+"""
+
+import pytest
+
+from repro.core.pipeline import VerifAI
+from repro.datalake.serialize import serialize_row
+from repro.datalake.types import Modality
+from repro.llm.model import SimulatedLLM
+from repro.verify.objects import TupleObject
+
+from benchmarks.conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def sample_queries(context):
+    queries = []
+    for generated in context.generated[:20]:
+        row = context.bundle.lake.table(generated.table_id).row(
+            generated.row_index
+        )
+        queries.append(serialize_row(row))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def batch_objects(context):
+    """24 generated tuples to verify, as one campaign."""
+    objects = []
+    for i, generated in enumerate(context.generated[:24]):
+        table = context.bundle.lake.table(generated.table_id)
+        row = table.row(generated.row_index).replace_value(
+            generated.column, generated.generated_value or "NaN"
+        )
+        objects.append(
+            TupleObject(f"bench-{i}", row, attribute=generated.column)
+        )
+    return objects
+
+
+def fresh_system(context):
+    """A cold system (no verifier/payload cache warmth) over the lake."""
+    llm = SimulatedLLM(knowledge=None, seed=7)
+    return VerifAI(context.bundle.lake, llm=llm).build_indexes()
+
+
+# ----------------------------------------------------------------------
+# sealed vs dict BM25
+# ----------------------------------------------------------------------
+def test_bench_bm25_search_sealed(context, benchmark, sample_queries):
+    index = context.system.indexer.content_index(Modality.TUPLE)
+    index.seal()
+
+    hits = benchmark(lambda: [index.search(q, 10) for q in sample_queries])
+    assert all(h for h in hits)
+
+
+def test_bench_bm25_search_dict(context, benchmark, sample_queries):
+    index = context.system.indexer.content_index(Modality.TUPLE)
+
+    hits = benchmark(
+        lambda: [index.search_dict(q, 10) for q in sample_queries]
+    )
+    assert all(h for h in hits)
+
+
+# ----------------------------------------------------------------------
+# serial vs parallel verify_batch
+# ----------------------------------------------------------------------
+def test_bench_verify_batch_serial(context, benchmark, batch_objects):
+    system = fresh_system(context)
+    batch = run_once(
+        benchmark, system.verify_batch, batch_objects, max_workers=1
+    )
+    assert len(batch) == len(batch_objects)
+    assert batch.stats.max_workers == 1
+
+
+def test_bench_verify_batch_parallel(context, benchmark, batch_objects):
+    system = fresh_system(context)
+    batch = run_once(
+        benchmark, system.verify_batch, batch_objects, max_workers=4
+    )
+    assert len(batch) == len(batch_objects)
+    assert batch.stats.max_workers == 4

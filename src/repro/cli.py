@@ -7,6 +7,7 @@ Subcommands::
     repro verify-claim --lake lake.json --text "..." [--context "..."]
     repro verify-tuple --lake lake.json --table-id T --row 0 \
                        --column votes --value "123,456"
+    repro verify-batch --lake lake.json --sample 50 --workers 4
     repro discover    --lake lake.json --query "..." [--modality text]
     repro experiment  --name table1 [--scale small]
 
@@ -78,6 +79,24 @@ def _cmd_verify_tuple(args: argparse.Namespace) -> int:
     return 0 if report.final_verdict.name != "REFUTED" else 1
 
 
+def _cmd_verify_batch(args: argparse.Namespace) -> int:
+    import random
+
+    system = _system_for(args)
+    rng = random.Random(args.seed)
+    tables = sorted(system.lake.tables(), key=lambda t: t.table_id)
+    objects = []
+    for i in range(args.sample):
+        table = rng.choice(tables)
+        row = table.row(rng.randrange(table.num_rows))
+        column = rng.choice([c for c in table.columns if c != table.key_column])
+        objects.append(TupleObject(f"batch-{i:04d}", row, attribute=column))
+    batch = system.verify_batch(objects, max_workers=args.workers)
+    print(batch.summary())
+    print(batch.stats.summary())
+    return 0
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
     from repro.discovery.crossmodal import CrossModalIndex
 
@@ -131,6 +150,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--value", required=True)
     p.add_argument("--explain", action="store_true")
     p.set_defaults(func=_cmd_verify_tuple)
+
+    p = sub.add_parser(
+        "verify-batch", help="verify a sampled batch of lake tuples"
+    )
+    p.add_argument("--lake", required=True)
+    p.add_argument("--sample", type=int, default=20)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_verify_batch)
 
     p = sub.add_parser("discover", help="cross-modal discovery query")
     p.add_argument("--lake", required=True)

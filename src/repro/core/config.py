@@ -30,7 +30,13 @@ class VerifAIConfig:
     * ``use_reranker`` — apply the task-specific reranker (off = the
       paper's Section 4 setting, which evaluates raw index retrieval);
     * ``prefer_local`` — Agent policy: route to local verifiers when one
-      supports the pair, else the LLM.
+      supports the pair, else the LLM;
+    * ``payload_cache_size`` — serialized payloads the Indexer keeps for
+      rerankers (LRU entries, not bytes);
+    * ``verifier_cache_size`` — (object, evidence) outcomes the Verifier
+      memoizes (LRU entries);
+    * ``batch_max_workers`` — default worker-thread count for
+      :meth:`VerifAI.verify_batch` (1 = serial).
     """
 
     k_coarse: int = 50
@@ -44,6 +50,9 @@ class VerifAIConfig:
     prefer_local: bool = False
     chunk_text: bool = False
     chunk_max_tokens: int = 64
+    payload_cache_size: int = 8192
+    verifier_cache_size: int = 65536
+    batch_max_workers: int = 1
 
     def fine_k(self, modality: Modality) -> int:
         """Shortlist size for one modality."""

@@ -17,6 +17,8 @@ rebuilding.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional
 
 from repro.datalake.lake import DataLake
@@ -40,17 +42,19 @@ _INDEXED_MODALITIES = (
 
 def _fold_chunks_to_documents(hits: List[SearchHit], k: int) -> List[SearchHit]:
     """Collapse chunk hits (``doc#cN``) onto their parent documents,
-    keeping each document's best chunk score and the original order."""
+    keeping each document's best chunk score.  Documents are re-ranked
+    by ``(-score, instance_id)`` afterwards: a document whose best chunk
+    appears late in the chunk ranking must not be stuck at the position
+    of its first (weaker) chunk."""
     best: Dict[str, SearchHit] = {}
-    order: List[str] = []
     for hit in hits:
         doc_id = hit.instance_id.split("#c", 1)[0]
-        if doc_id not in best:
+        current = best.get(doc_id)
+        if current is None or hit.score > current.score:
             best[doc_id] = SearchHit(hit.score, doc_id, hit.index_name)
-            order.append(doc_id)
-        elif hit.score > best[doc_id].score:
-            best[doc_id] = SearchHit(hit.score, doc_id, hit.index_name)
-    return [best[doc_id] for doc_id in order][:k]
+    return sorted(
+        best.values(), key=lambda hit: (-hit.score, hit.instance_id)
+    )[:k]
 
 
 class IndexerModule:
@@ -64,6 +68,13 @@ class IndexerModule:
         self._combiners: Dict[Modality, Combiner] = {}
         self._vectorizer = HashingVectorizer(dim=self.config.embedding_dim)
         self._built = False
+        # serialized payloads are immutable once an instance is in the
+        # lake, so rerankers can share one serialization per instance
+        # instead of re-serializing it for every query
+        self._payload_cache: "OrderedDict[str, str]" = OrderedDict()
+        self._payload_lock = threading.Lock()
+        self.payload_cache_hits = 0
+        self.payload_cache_misses = 0
 
     @property
     def is_built(self) -> bool:
@@ -130,6 +141,7 @@ class IndexerModule:
                 name=f"combined-{modality.value}",
             )
         self._built = True
+        self.seal_indexes()
         return self
 
     # ------------------------------------------------------------------
@@ -180,6 +192,27 @@ class IndexerModule:
             self.build()
         return self._semantic.get(modality)
 
+    def seal_indexes(self) -> "IndexerModule":
+        """Compile every content index's vectorized read form up front
+        (otherwise sealing happens lazily on first search)."""
+        for index in self._content.values():
+            if index.auto_seal:
+                index.seal()
+        return self
+
     def fetch_payload(self, instance_id: str) -> str:
-        """Serialized payload of any indexed instance."""
-        return serialize_instance(self.lake.instance(instance_id))
+        """Serialized payload of any indexed instance, LRU-cached."""
+        with self._payload_lock:
+            payload = self._payload_cache.get(instance_id)
+            if payload is not None:
+                self.payload_cache_hits += 1
+                self._payload_cache.move_to_end(instance_id)
+                return payload
+        payload = serialize_instance(self.lake.instance(instance_id))
+        with self._payload_lock:
+            self.payload_cache_misses += 1
+            self._payload_cache[instance_id] = payload
+            self._payload_cache.move_to_end(instance_id)
+            while len(self._payload_cache) > self.config.payload_cache_size:
+                self._payload_cache.popitem(last=False)
+        return payload

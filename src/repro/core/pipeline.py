@@ -89,7 +89,10 @@ class VerifAI:
             fallback=LLMVerifier(self.llm),
             prefer_local=self.config.prefer_local,
         )
-        self.verifier = VerifierModule(agent, lake, source_trust)
+        self.verifier = VerifierModule(
+            agent, lake, source_trust,
+            cache_size=self.config.verifier_cache_size,
+        )
         self.provenance = ProvenanceStore()
         self.generation_log = GenerationLog()
 
@@ -101,6 +104,33 @@ class VerifAI:
         self.indexer.build()
         return self
 
+    def retrieval_stages(
+        self,
+        obj: DataObject,
+        modality: Modality,
+        k_coarse: Optional[int] = None,
+        k_fine: Optional[int] = None,
+    ) -> List[Tuple[str, List[SearchHit]]]:
+        """Coarse retrieval + optional reranking, as named provenance
+        stages.  The last stage's hits are the evidence shortlist.
+
+        Results depend only on the object's query text, type, and the
+        depths — which is what lets the batch engine dedupe identical
+        retrievals across objects."""
+        query = obj.query_text()
+        fine = k_fine if k_fine is not None else self.config.fine_k(modality)
+        if self.config.use_reranker:
+            coarse = self.indexer.search(query, modality, k_coarse)
+            shortlist = self.reranker.rerank(
+                obj, modality, coarse, self.indexer.fetch_payload, fine
+            )
+            return [
+                (f"coarse:{modality.value}", coarse),
+                (f"rerank:{modality.value}", shortlist),
+            ]
+        hits = self.indexer.search(query, modality, fine)
+        return [(f"coarse:{modality.value}", hits)]
+
     def retrieve(
         self,
         obj: DataObject,
@@ -110,22 +140,11 @@ class VerifAI:
         record=None,
     ) -> List[SearchHit]:
         """Coarse retrieval + optional task-specific reranking."""
-        query = obj.query_text()
-        fine = k_fine if k_fine is not None else self.config.fine_k(modality)
-        if self.config.use_reranker:
-            coarse = self.indexer.search(query, modality, k_coarse)
-            if record is not None:
-                record.add_stage(f"coarse:{modality.value}", coarse)
-            shortlist = self.reranker.rerank(
-                obj, modality, coarse, self.indexer.fetch_payload, fine
-            )
-            if record is not None:
-                record.add_stage(f"rerank:{modality.value}", shortlist)
-            return shortlist
-        hits = self.indexer.search(query, modality, fine)
+        stages = self.retrieval_stages(obj, modality, k_coarse, k_fine)
         if record is not None:
-            record.add_stage(f"coarse:{modality.value}", hits)
-        return hits
+            for stage_name, hits in stages:
+                record.add_stage(stage_name, hits)
+        return stages[-1][1]
 
     def resolve(self, hits: Sequence[SearchHit]) -> List[DataInstance]:
         """Instance ids back to lake instances."""
@@ -171,10 +190,29 @@ class VerifAI:
         self,
         objects: Sequence[DataObject],
         modalities: Optional[Sequence[Modality]] = None,
+        max_workers: Optional[int] = None,
+        k_coarse: Optional[int] = None,
+        k_fine: Optional[int] = None,
     ) -> "BatchReport":
-        """Verify many objects and summarize the campaign."""
-        reports = [self.verify(obj, modalities=modalities) for obj in objects]
-        return BatchReport(reports=reports)
+        """Verify many objects and summarize the campaign.
+
+        Delegates to the batch engine: identical retrieval queries are
+        computed once, retrieval+rerank+verify runs on up to
+        ``max_workers`` threads (default ``config.batch_max_workers``,
+        1 = the serial path), and report order always matches input
+        order.  The returned :class:`BatchReport` carries stage timings
+        and cache-hit counters in ``stats``.
+        """
+        from repro.core.batch import BatchEngine
+
+        workers = (
+            max_workers if max_workers is not None
+            else self.config.batch_max_workers
+        )
+        engine = BatchEngine(self, max_workers=workers)
+        return engine.run(
+            objects, modalities=modalities, k_coarse=k_coarse, k_fine=k_fine
+        )
 
     def add_instance(self, instance) -> None:
         """Fold a newly ingested lake instance into the live indexes
@@ -188,9 +226,15 @@ class VerifAI:
 
 @dataclass
 class BatchReport:
-    """Aggregate view of a verification campaign."""
+    """Aggregate view of a verification campaign.
+
+    ``stats`` (a :class:`repro.core.batch.BatchStats`) is attached by
+    the batch engine: per-stage wall time plus retrieval/verifier/
+    payload/analysis cache counters for the run.
+    """
 
     reports: List[VerificationReport]
+    stats: Optional["object"] = None
 
     def __len__(self) -> int:
         return len(self.reports)
@@ -214,8 +258,15 @@ class BatchReport:
         return self.count(Verdict.NOT_RELATED)
 
     def summary(self) -> str:
-        """One-line campaign summary."""
-        return (
+        """One-line campaign summary (plus cache stats when present)."""
+        line = (
             f"{len(self.reports)} objects: {self.verified} verified, "
             f"{self.refuted} refuted, {self.unresolved} unresolved"
         )
+        if self.stats is not None:
+            line += (
+                f"; verifier cache: {self.stats.verifier_cache_hits} hits, "
+                f"{self.stats.verifier_cache_entries}/"
+                f"{self.stats.verifier_cache_size} entries"
+            )
+        return line

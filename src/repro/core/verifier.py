@@ -8,6 +8,8 @@ trust of the lake source that supplied the evidence.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.datalake.lake import DataLake
@@ -37,7 +39,9 @@ class VerifierModule:
 
     Verification is deterministic per (object content, evidence), so
     repeated pairs — common when benchmarks sweep configurations — are
-    served from an in-process cache (``cache=False`` disables it).
+    served from an in-process LRU cache (``cache=False`` disables it;
+    ``cache_size`` bounds it).  The cache is thread-safe: the batch
+    engine verifies objects from worker threads.
     """
 
     def __init__(
@@ -46,14 +50,24 @@ class VerifierModule:
         lake: DataLake,
         source_trust: Optional[Mapping[str, float]] = None,
         cache: bool = True,
+        cache_size: int = 65536,
     ) -> None:
+        if cache_size <= 0:
+            raise ValueError(f"cache_size must be positive, got {cache_size}")
         self.agent = agent
         self.lake = lake
         self.source_trust: Dict[str, float] = dict(source_trust or {})
-        self._cache: Optional[Dict[tuple, VerificationOutcome]] = (
-            {} if cache else None
+        self._cache: Optional["OrderedDict[tuple, VerificationOutcome]"] = (
+            OrderedDict() if cache else None
         )
+        self._cache_lock = threading.Lock()
+        self.cache_size = cache_size
         self.cache_hits = 0
+
+    def __len__(self) -> int:
+        """Number of memoized (object, evidence) outcomes."""
+        with self._cache_lock:
+            return len(self._cache) if self._cache is not None else 0
 
     def verify_one(
         self, obj: DataObject, evidence: DataInstance
@@ -62,12 +76,21 @@ class VerifierModule:
         if self._cache is None:
             return self.agent.verify(obj, evidence)
         key = _pair_key(obj, evidence)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(key)
+                return cached
+        # verify outside the lock; a concurrent duplicate recomputes the
+        # same deterministic outcome, which is cheaper than serializing
+        # every verification behind one mutex
         outcome = self.agent.verify(obj, evidence)
-        self._cache[key] = outcome
+        with self._cache_lock:
+            self._cache[key] = outcome
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
         return outcome
 
     def source_of(self, evidence: DataInstance) -> str:

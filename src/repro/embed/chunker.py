@@ -47,17 +47,24 @@ def chunk_text(
     if not sents:
         return []
 
+    # tokenize each sentence exactly once; overlap windows reuse counts
+    counts = [len(tokenize(sent)) for sent in sents]
     chunks: List[Chunk] = []
     current: List[str] = []
+    current_counts: List[int] = []
     current_tokens = 0
-    for sent in sents:
-        sent_tokens = len(tokenize(sent))
+    for sent, sent_tokens in zip(sents, counts):
         if current and current_tokens + sent_tokens > max_tokens:
             chunks.append(Chunk(doc_id, len(chunks), " ".join(current)))
-            keep = current[-overlap_sentences:] if overlap_sentences else []
-            current = list(keep)
-            current_tokens = sum(len(tokenize(s)) for s in current)
+            if overlap_sentences:
+                current = current[-overlap_sentences:]
+                current_counts = current_counts[-overlap_sentences:]
+            else:
+                current = []
+                current_counts = []
+            current_tokens = sum(current_counts)
         current.append(sent)
+        current_counts.append(sent_tokens)
         current_tokens += sent_tokens
     if current:
         chunks.append(Chunk(doc_id, len(chunks), " ".join(current)))

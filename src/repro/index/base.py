@@ -8,6 +8,7 @@ id-based lets one Combiner merge hits across heterogeneous indexes.
 from __future__ import annotations
 
 import abc
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -53,11 +54,20 @@ class SearchIndex(abc.ABC):
 def top_k(scores: Dict[str, float], k: int, index_name: str = "") -> List[SearchHit]:
     """Materialize the k best (score, id) pairs as hits, deterministically.
 
-    Ties are broken by instance id so that runs are reproducible.
+    Ties are broken by instance id so that runs are reproducible.  When
+    ``k`` is much smaller than the candidate set a bounded heap selects
+    the winners in O(n log k) instead of sorting everything; both paths
+    order by ``(-score, instance_id)`` and return identical hits.
     """
     if k <= 0:
         return []
-    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
+    if 4 * k < len(scores):
+        smallest = heapq.nsmallest(
+            k, ((-score, instance_id) for instance_id, score in scores.items())
+        )
+        ranked = [(instance_id, -neg_score) for neg_score, instance_id in smallest]
+    else:
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
     return [
         SearchHit(score=score, instance_id=instance_id, index_name=index_name)
         for instance_id, score in ranked

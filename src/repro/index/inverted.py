@@ -4,16 +4,54 @@ This is the content-based index the paper's experiments actually use
 ("We use Elasticsearch to retrieve the top-3 tuples and top-3 text
 files..."), so its ranking function matches ES defaults: BM25 with
 k1 = 1.2, b = 0.75.
+
+The index has two execution forms:
+
+* the **dict form** — token -> ``{instance_id: tf}`` postings — is the
+  write path: ``add`` is cheap and incremental;
+* the **sealed form** is a compiled read path: contiguous numpy postings
+  (token -> document-index + term-frequency arrays), precomputed idf and
+  length-normalization arrays, dense score accumulation over a single
+  float64 buffer, and ``argpartition``-based top-k selection.
+
+``search`` compiles the sealed form lazily and any ``add`` invalidates
+it, so callers never see a stale ranking.  Both paths produce
+bit-identical hit lists: the sealed scorer replays the exact arithmetic
+of the dict scorer (same operation order, same IEEE doubles) and breaks
+ties on instance id the same way.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
+
+try:  # numpy powers the sealed form; the dict form needs nothing
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None
 
 from repro.index.base import SearchHit, SearchIndex, top_k
 from repro.text import analyze
+
+
+class _SealedPostings:
+    """Compiled, read-only view of one index generation."""
+
+    __slots__ = ("doc_ids", "norm", "idf", "postings")
+
+    def __init__(
+        self,
+        doc_ids: List[str],
+        norm: "np.ndarray",
+        idf: Dict[str, float],
+        postings: Dict[str, Tuple["np.ndarray", "np.ndarray"]],
+    ) -> None:
+        self.doc_ids = doc_ids
+        self.norm = norm            # per-doc k1 * (1 - b + b * len/avg)
+        self.idf = idf              # per-token BM25+ idf
+        self.postings = postings    # token -> (doc index array, tf array)
 
 
 class InvertedIndex(SearchIndex):
@@ -26,6 +64,7 @@ class InvertedIndex(SearchIndex):
         b: float = 0.75,
         remove_stopwords: bool = True,
         stemming: bool = True,
+        auto_seal: bool = True,
     ) -> None:
         if k1 < 0:
             raise ValueError(f"k1 must be >= 0, got {k1}")
@@ -36,9 +75,11 @@ class InvertedIndex(SearchIndex):
         self.b = b
         self.remove_stopwords = remove_stopwords
         self.stemming = stemming
+        self.auto_seal = auto_seal and np is not None
         self._postings: Dict[str, Dict[str, int]] = defaultdict(dict)
         self._doc_length: Dict[str, int] = {}
         self._total_length = 0
+        self._sealed: Optional[_SealedPostings] = None
 
     def _analyze(self, text: str) -> List[str]:
         return analyze(
@@ -50,6 +91,7 @@ class InvertedIndex(SearchIndex):
     def add(self, instance_id: str, payload: str) -> None:
         if instance_id in self._doc_length:
             raise ValueError(f"duplicate instance id: {instance_id}")
+        self._sealed = None  # any write invalidates the compiled form
         tokens = self._analyze(payload)
         self._doc_length[instance_id] = len(tokens)
         self._total_length += len(tokens)
@@ -74,7 +116,97 @@ class InvertedIndex(SearchIndex):
         raw = math.log((num_docs - df + 0.5) / (df + 0.5) + 1.0)
         return max(raw, 1e-6)
 
+    # ------------------------------------------------------------------
+    # sealed (compiled) form
+    # ------------------------------------------------------------------
+    @property
+    def is_sealed(self) -> bool:
+        return self._sealed is not None
+
+    def seal(self) -> "InvertedIndex":
+        """Compile the postings into the vectorized read form.
+
+        Idempotent; called lazily by :meth:`search` when ``auto_seal``
+        is on.  The next :meth:`add` invalidates the compiled form.
+        """
+        if np is None:
+            raise RuntimeError("sealing requires numpy")
+        if self._sealed is not None:
+            return self
+        doc_ids = list(self._doc_length)
+        doc_pos = {doc_id: i for i, doc_id in enumerate(doc_ids)}
+        avg_len = self.avg_doc_length
+        norm = np.empty(len(doc_ids), dtype=np.float64)
+        for i, doc_id in enumerate(doc_ids):
+            doc_len = self._doc_length[doc_id]
+            # exactly the dict scorer's denominator term, hoisted per doc
+            norm[i] = self.k1 * (
+                1 - self.b + self.b * doc_len / avg_len if avg_len else 1.0
+            )
+        idf = {token: self.idf(token) for token in self._postings}
+        postings: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for token, entry in self._postings.items():
+            idx = np.fromiter(
+                (doc_pos[doc_id] for doc_id in entry), dtype=np.int64, count=len(entry)
+            )
+            tf = np.fromiter(entry.values(), dtype=np.float64, count=len(entry))
+            postings[token] = (idx, tf)
+        self._sealed = _SealedPostings(doc_ids, norm, idf, postings)
+        return self
+
+    def _search_sealed(self, query: str, k: int) -> List[SearchHit]:
+        sealed = self._sealed
+        assert sealed is not None
+        tokens = self._analyze(query)
+        if not tokens or not sealed.doc_ids:
+            return []
+        num_docs = len(sealed.doc_ids)
+        scores = np.zeros(num_docs, dtype=np.float64)
+        matched = np.zeros(num_docs, dtype=bool)
+        for token, query_count in Counter(tokens).items():
+            entry = sealed.postings.get(token)
+            if entry is None:
+                continue
+            idx, tf = entry
+            # identical arithmetic (and evaluation order) to the dict path
+            scores[idx] += (
+                sealed.idf[token] * (tf * (self.k1 + 1)) / (tf + sealed.norm[idx])
+                * query_count
+            )
+            matched[idx] = True
+        candidates = np.nonzero(matched)[0]
+        if candidates.size == 0 or k <= 0:
+            return []
+        if candidates.size > k:
+            cand_scores = scores[candidates]
+            keep = np.argpartition(-cand_scores, k - 1)[:k]
+            kth_score = cand_scores[keep].min()
+            candidates = candidates[cand_scores >= kth_score]
+        ranked = sorted(
+            ((scores[i], sealed.doc_ids[i]) for i in candidates),
+            key=lambda pair: (-pair[0], pair[1]),
+        )[:k]
+        return [
+            SearchHit(score=float(score), instance_id=doc_id, index_name=self.name)
+            for score, doc_id in ranked
+        ]
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
     def search(self, query: str, k: int = 10) -> List[SearchHit]:
+        if self._sealed is None and self.auto_seal and self._doc_length:
+            self.seal()
+        if self._sealed is not None:
+            return self._search_sealed(query, k)
+        return self.search_dict(query, k)
+
+    def search_dict(self, query: str, k: int = 10) -> List[SearchHit]:
+        """Reference scorer over the dict postings (the original path).
+
+        Kept as the differential-testing oracle for the sealed form and
+        as the fallback when numpy is unavailable.
+        """
         tokens = self._analyze(query)
         if not tokens or not self._doc_length:
             return []

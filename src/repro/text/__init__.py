@@ -21,6 +21,8 @@ from repro.text.stopwords import STOPWORDS, is_stopword
 from repro.text.tokenize import (
     Token,
     analyze,
+    analyze_cache_clear,
+    analyze_cache_info,
     normalize,
     sentences,
     tokenize,
@@ -31,6 +33,8 @@ __all__ = [
     "STOPWORDS",
     "Token",
     "analyze",
+    "analyze_cache_clear",
+    "analyze_cache_info",
     "cosine_token_similarity",
     "is_numeric_token",
     "is_stopword",

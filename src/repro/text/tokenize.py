@@ -11,10 +11,17 @@ from __future__ import annotations
 import re
 import unicodedata
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, List
 
 from repro.text.stem import stem
 from repro.text.stopwords import is_stopword
+
+#: entries kept in the shared analysis cache.  Sized for the benchmark
+#: lakes (a few thousand distinct payloads per modality) while staying
+#: small enough that pathological workloads cannot hold the whole lake's
+#: text in memory twice.
+ANALYZE_CACHE_SIZE = 16384
 
 # A token is either a number (optionally signed, with , . separators) or a
 # run of letters/digits.  Apostrophes inside words ("o'brien") are kept.
@@ -68,6 +75,20 @@ def tokenize_with_spans(text: str) -> List[Token]:
     ]
 
 
+@lru_cache(maxsize=ANALYZE_CACHE_SIZE)
+def _analyze_cached(
+    text: str, remove_stopwords: bool, stemming: bool
+) -> tuple:
+    out: List[str] = []
+    for token in tokenize(text):
+        if remove_stopwords and is_stopword(token):
+            continue
+        if stemming and token[0].isalpha():
+            token = stem(token)
+        out.append(token)
+    return tuple(out)
+
+
 def analyze(
     text: str,
     remove_stopwords: bool = True,
@@ -78,15 +99,23 @@ def analyze(
 
     Numeric tokens are passed through unchanged so that values like
     ``1,234`` remain searchable.
+
+    Results are memoized in a process-wide LRU keyed on the text and the
+    analyzer options, so index build, search, and the rerankers share one
+    analysis of any given payload.  Callers receive a fresh list each
+    time (the cached tuple is never exposed for mutation).
     """
-    out: List[str] = []
-    for token in tokenize(text):
-        if remove_stopwords and is_stopword(token):
-            continue
-        if stemming and token[0].isalpha():
-            token = stem(token)
-        out.append(token)
-    return out
+    return list(_analyze_cached(text, remove_stopwords, stemming))
+
+
+def analyze_cache_info():
+    """Hit/miss statistics of the shared analysis cache."""
+    return _analyze_cached.cache_info()
+
+
+def analyze_cache_clear() -> None:
+    """Drop every memoized analysis (mainly for tests and benchmarks)."""
+    _analyze_cached.cache_clear()
 
 
 _SENTENCE_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9\"'])")

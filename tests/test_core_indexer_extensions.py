@@ -39,6 +39,24 @@ class TestChunkedText:
         hits = [SearchHit(1.0 - i * 0.1, f"d{i}#c0") for i in range(5)]
         assert len(_fold_chunks_to_documents(hits, k=2)) == 2
 
+    def test_fold_reranks_late_best_chunk(self):
+        # d2's best chunk appears after d1's first chunk; d2 must still
+        # outrank d1 because its best-chunk score is higher
+        hits = [
+            SearchHit(0.6, "d1#c0"),
+            SearchHit(0.5, "d2#c0"),
+            SearchHit(0.9, "d2#c7"),
+        ]
+        folded = _fold_chunks_to_documents(hits, k=5)
+        assert [(h.instance_id, h.score) for h in folded] == [
+            ("d2", 0.9), ("d1", 0.6),
+        ]
+
+    def test_fold_breaks_score_ties_by_id(self):
+        hits = [SearchHit(0.5, "dz#c0"), SearchHit(0.5, "da#c0")]
+        folded = _fold_chunks_to_documents(hits, k=5)
+        assert [h.instance_id for h in folded] == ["da", "dz"]
+
     def test_other_modalities_unaffected(self, chunked, tiny_lake):
         assert len(chunked.content_index(Modality.TUPLE)) == (
             tiny_lake.stats().num_tuples

@@ -120,3 +120,48 @@ class TestCache:
         module.verify_one(obj, election_table.row(0))
         module.verify_one(obj, election_table.row(0))
         assert module.cache_hits == 0
+
+
+class TestCacheBound:
+    def make_module(self, tiny_lake, quiet_profile, cache_size):
+        from repro.llm.model import SimulatedLLM
+        from repro.verify.agent import VerifierAgent
+        from repro.verify.llm_verifier import LLMVerifier
+
+        llm = SimulatedLLM(knowledge=None, profile=quiet_profile, seed=23)
+        return VerifierModule(
+            VerifierAgent([], fallback=LLMVerifier(llm)), tiny_lake,
+            cache_size=cache_size,
+        )
+
+    def test_cache_never_exceeds_bound(self, tiny_lake, quiet_profile,
+                                       election_table):
+        module = self.make_module(tiny_lake, quiet_profile, cache_size=2)
+        for i in range(4):
+            obj = TupleObject("b", election_table.row(i), attribute="party")
+            module.verify_one(obj, election_table.row(i))
+        assert len(module) == 2
+
+    def test_lru_evicts_oldest_first(self, tiny_lake, quiet_profile,
+                                     election_table):
+        module = self.make_module(tiny_lake, quiet_profile, cache_size=2)
+        objs = [
+            TupleObject("b", election_table.row(i), attribute="party")
+            for i in range(3)
+        ]
+        module.verify_one(objs[0], election_table.row(0))
+        module.verify_one(objs[1], election_table.row(1))
+        # touch 0 so 1 becomes the eviction victim
+        module.verify_one(objs[0], election_table.row(0))
+        module.verify_one(objs[2], election_table.row(2))  # evicts 1
+        before = module.cache_hits
+        module.verify_one(objs[0], election_table.row(0))
+        assert module.cache_hits == before + 1
+        module.verify_one(objs[1], election_table.row(1))  # was evicted
+        assert module.cache_hits == before + 1
+
+    def test_invalid_cache_size_rejected(self, tiny_lake, quiet_profile):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            self.make_module(tiny_lake, quiet_profile, cache_size=0)

@@ -1,0 +1,49 @@
+"""Regression: the heap fast path of ``top_k`` must rank exactly like
+the full sort, including tie-breaking on instance id."""
+
+import random
+
+from repro.index.base import SearchHit, top_k
+
+
+def reference_top_k(scores, k, index_name=""):
+    """The original full-sort implementation, kept as oracle."""
+    if k <= 0:
+        return []
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
+    return [
+        SearchHit(score=score, instance_id=instance_id, index_name=index_name)
+        for instance_id, score in ranked
+    ]
+
+
+def as_tuples(hits):
+    return [(hit.score, hit.instance_id, hit.index_name) for hit in hits]
+
+
+class TestTopKEquivalence:
+    def test_random_maps_all_k(self):
+        rng = random.Random(99)
+        for trial in range(50):
+            n = rng.randint(0, 400)
+            # few distinct scores => heavy ties => tie-breaking exercised
+            scores = {
+                f"id-{i:04d}": rng.choice([0.25, 0.5, 0.5, 1.0, 2.5])
+                for i in range(n)
+            }
+            for k in (0, 1, 2, 5, n // 4, n, n + 10):
+                assert as_tuples(top_k(scores, k, "ix")) == as_tuples(
+                    reference_top_k(scores, k, "ix")
+                ), f"trial={trial} n={n} k={k}"
+
+    def test_heap_path_taken_for_small_k(self):
+        # 4*k < n forces the heap branch; result must still match oracle
+        scores = {f"id-{i:03d}": float(i % 7) for i in range(200)}
+        assert as_tuples(top_k(scores, 3)) == as_tuples(
+            reference_top_k(scores, 3)
+        )
+
+    def test_negative_and_identical_scores(self):
+        scores = {"b": -1.0, "a": -1.0, "c": -0.5}
+        hits = top_k(scores, 2)
+        assert [h.instance_id for h in hits] == ["c", "a"]
