@@ -1,12 +1,21 @@
 # Convenience targets for the VerifAI reproduction.
 
-.PHONY: install test bench bench-batch bench-paper experiments examples lint
+.PHONY: install check test bench bench-batch bench-paper experiments examples lint lint-json
 
 install:
 	pip install -e . --no-build-isolation
 
+# the default CI gate: static analysis first, then the test suite
+check: lint test
+
 test:
-	pytest tests/ -q
+	PYTHONPATH=src pytest tests/ -q
+
+lint:
+	PYTHONPATH=src python -m repro.cli lint --baseline lint_baseline.json src/repro
+
+lint-json:
+	PYTHONPATH=src python -m repro.cli lint --json --baseline lint_baseline.json src/repro
 
 bench:
 	pytest benchmarks/ --benchmark-only

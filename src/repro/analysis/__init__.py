@@ -1,0 +1,23 @@
+"""repro-lint: AST static analysis for the reproduction's invariants.
+
+The test suite cannot see whether a code path is seeded-deterministic or
+whether a verdict dispatch covers the full ternary space; this package
+checks those invariants syntactically on every commit.  See
+docs/static_analysis.md for the rule catalogue.
+"""
+
+from repro.analysis.baseline import Baseline, fingerprint
+from repro.analysis.linter import Finding, Linter, Rule, all_rules, register
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Linter",
+    "Rule",
+    "all_rules",
+    "fingerprint",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,97 @@
+"""Committed suppressions for repro-lint.
+
+A baseline (``lint_baseline.json``) grandfathers known findings so the
+linter can gate CI on *new* violations immediately even while old ones
+are being worked off.  Entries match on ``(rule, path, normalized
+snippet)`` — not line numbers — so unrelated edits above a finding do
+not invalidate the baseline.  Each entry carries a count: two identical
+offending lines in one file need a count of 2, and fixing one of them
+makes the other still-suppressed.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.analysis.linter import Finding
+
+_WS_RE = re.compile(r"\s+")
+
+
+def fingerprint(finding: Finding) -> Tuple[str, str, str]:
+    """Line-number-independent identity of a finding."""
+    snippet = _WS_RE.sub(" ", finding.snippet).strip()
+    return (finding.rule_id, finding.path, snippet)
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Sequence[dict] = ()) -> None:
+        self._counts: Counter = Counter()
+        self._entries: List[dict] = []
+        for entry in entries:
+            self._add(entry)
+
+    def _add(self, entry: dict) -> None:
+        key = (entry["rule"], entry["path"], entry["snippet"])
+        self._counts[key] += int(entry.get("count", 1))
+        self._entries.append(dict(entry))
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int]:
+        """(surviving findings, suppressed count); counts are consumed."""
+        remaining = Counter(self._counts)
+        kept: List[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            key = fingerprint(finding)
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                suppressed += 1
+            else:
+                kept.append(finding)
+        return kept, suppressed
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Baseline that suppresses exactly ``findings``."""
+        counts: Counter = Counter(fingerprint(f) for f in findings)
+        reasons: Dict[Tuple[str, str, str], str] = {}
+        for finding in findings:
+            reasons.setdefault(fingerprint(finding), finding.message)
+        entries = [
+            {
+                "rule": rule,
+                "path": path,
+                "snippet": snippet,
+                "count": count,
+                "reason": reasons[(rule, path, snippet)],
+            }
+            for (rule, path, snippet), count in sorted(counts.items())
+        ]
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        with Path(path).open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls(payload.get("entries", []))
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {"version": 1, "entries": self._entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

@@ -1,0 +1,269 @@
+"""The repro-lint rule engine.
+
+A single-pass AST walker with a rule registry: each :class:`Rule`
+declares the node types it wants to see, the engine parses every file
+once and dispatches nodes to interested rules.  Rules yield
+:class:`Finding` objects; the engine filters them through inline
+``# repro-lint: disable=RULE`` pragmas before returning.
+
+The rules themselves live in :mod:`repro.analysis.rules` and encode the
+reproduction's two load-bearing invariants (see docs/static_analysis.md):
+every code path must be seeded-deterministic, and every verifier must
+stay inside the closed ternary ``Verdict`` space — plus the concurrency
+discipline the batched engine introduced in PR 1.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+#: matches ``# repro-lint: disable=DET001`` / ``disable-file=DET001,CTR003``
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+#: directory / file names never linted
+_SKIP_PARTS = {"__pycache__", ".git", ".pytest_cache"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id``/``name``/``category``/``description`` and
+    the AST ``node_types`` they inspect, then implement :meth:`visit`.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    category: str = ""
+    description: str = ""
+    node_types: Tuple[type, ...] = ()
+
+    def visit(self, node: ast.AST, ctx: "LintContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: "LintContext", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.rel_path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.line_text(line),
+        )
+
+
+_RULE_REGISTRY: List[Type[Rule]] = []
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if any(existing.rule_id == cls.rule_id for existing in _RULE_REGISTRY):
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _RULE_REGISTRY.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """One fresh instance of every registered rule, id-sorted."""
+    # importing the package populates the registry
+    from repro.analysis import rules as _rules  # noqa: F401
+
+    return [cls() for cls in sorted(_RULE_REGISTRY, key=lambda c: c.rule_id)]
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may ask about the file being linted."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+    #: line number -> set of rule ids disabled on that line
+    line_pragmas: Dict[int, set] = field(default_factory=dict)
+    #: rule ids disabled for the whole file
+    file_pragmas: set = field(default_factory=set)
+    is_benchmark: bool = False
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return getattr(node, "_repro_parent", None)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.rule_id in self.file_pragmas:
+            return True
+        return finding.rule_id in self.line_pragmas.get(finding.line, set())
+
+
+def _parse_pragmas(lines: Sequence[str]) -> Tuple[Dict[int, set], set]:
+    line_pragmas: Dict[int, set] = {}
+    file_pragmas: set = set()
+    for number, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        kind, raw_ids = match.groups()
+        ids = {part.strip().upper() for part in raw_ids.split(",") if part.strip()}
+        if kind == "disable-file":
+            file_pragmas |= ids
+        else:
+            line_pragmas.setdefault(number, set()).update(ids)
+    return line_pragmas, file_pragmas
+
+
+def _annotate_parents(tree: ast.AST) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+
+
+class Linter:
+    """Parse files once and dispatch AST nodes to registered rules."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
+        self._dispatch: Dict[type, List[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def lint_source(
+        self, source: str, path: str = "<string>", root: Optional[Path] = None
+    ) -> List[Finding]:
+        """Lint one source string; ``path`` is used for reporting only."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    rule_id="E001",
+                    path=path,
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    message=f"syntax error: {error.msg}",
+                )
+            ]
+        lines = source.splitlines()
+        line_pragmas, file_pragmas = _parse_pragmas(lines)
+        parts = Path(path).parts
+        ctx = LintContext(
+            path=Path(path),
+            rel_path=path,
+            source=source,
+            tree=tree,
+            lines=lines,
+            line_pragmas=line_pragmas,
+            file_pragmas=file_pragmas,
+            is_benchmark="benchmarks" in parts
+            or Path(path).name.startswith("bench"),
+        )
+        _annotate_parents(tree)
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            for rule in self._dispatch.get(type(node), ()):
+                findings.extend(rule.visit(node, ctx))
+        findings = [f for f in findings if not ctx.suppressed(f)]
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+    def lint_file(self, path: Path, root: Optional[Path] = None) -> List[Finding]:
+        rel = str(path)
+        if root is not None:
+            try:
+                rel = str(path.resolve().relative_to(Path(root).resolve()))
+            except ValueError:
+                rel = str(path)
+        source = path.read_text(encoding="utf-8")
+        return self.lint_source(source, path=rel)
+
+    def lint_paths(
+        self, paths: Iterable[Path], root: Optional[Path] = None
+    ) -> List[Finding]:
+        """Lint every ``.py`` file under each path (files or directories)."""
+        findings: List[Finding] = []
+        for target in paths:
+            target = Path(target)
+            files = [target] if target.is_file() else sorted(target.rglob("*.py"))
+            for file_path in files:
+                if _SKIP_PARTS.intersection(file_path.parts):
+                    continue
+                findings.extend(self.lint_file(file_path, root=root))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers used by several rule modules
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute/name chains; '' for anything else."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def enclosing_function(
+    ctx: LintContext, node: ast.AST
+) -> Optional[ast.AST]:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def enclosing_with_lock(ctx: LintContext, node: ast.AST) -> bool:
+    """True when ``node`` sits inside ``with <something lock-ish>:``."""
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                name = dotted_name(item.context_expr)
+                if "lock" in name.lower():
+                    return True
+    return False

@@ -1,0 +1,5 @@
+"""Rule packages; importing this module populates the rule registry."""
+
+from repro.analysis.rules import concurrency, contracts, determinism
+
+__all__ = ["concurrency", "contracts", "determinism"]

@@ -1,0 +1,260 @@
+"""Concurrency rules (CON*).
+
+PR 1's ``verify_batch`` fans verification out to a ThreadPoolExecutor;
+the shared caches it touches (``core/verifier.py``, ``core/indexer.py``,
+``core/batch.py``) are guarded by hand-maintained locks.  These rules
+audit that discipline: locks are only held via ``with``, attributes a
+class guards with a lock are guarded at *every* write site, and module
+globals are not rebound or mutated from functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.linter import (
+    Finding,
+    LintContext,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: methods that mutate the common mutable containers in place
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "move_to_end", "appendleft",
+}
+
+
+def _self_attr_written(stmt: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield (attribute name, node) for every ``self.X`` write in ``stmt``.
+
+    Covers plain/augmented assignment, subscript assignment
+    (``self.X[k] = v``), and in-place mutator calls (``self.X.append``).
+    """
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                base = target
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"
+                ):
+                    yield base.attr, node
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            receiver = node.func.value
+            if (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+            ):
+                yield receiver.attr, node
+
+
+@register
+class LockAcquireRule(Rule):
+    rule_id = "CON001"
+    name = "lock-acquire-no-with"
+    category = "concurrency"
+    description = (
+        "Calling .acquire() on a lock by hand risks leaking it on an "
+        "exception path; hold locks with a `with` block."
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: LintContext) -> Iterator[Finding]:
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire"
+        ):
+            return
+        receiver = dotted_name(node.func.value)
+        if "lock" in receiver.lower() or "sem" in receiver.lower():
+            yield self.finding(
+                ctx, node,
+                f"{receiver}.acquire() called directly; use "
+                f"`with {receiver}:` so the lock is released on every path",
+            )
+
+
+@register
+class UnguardedSharedWriteRule(Rule):
+    rule_id = "CON002"
+    name = "unguarded-shared-write"
+    category = "concurrency"
+    description = (
+        "An attribute written under `with <lock>:` anywhere in a class is "
+        "lock-guarded shared state; every other write (outside __init__) "
+        "must hold the lock too."
+    )
+    node_types = (ast.ClassDef,)
+
+    def visit(self, node: ast.ClassDef, ctx: LintContext) -> Iterator[Finding]:
+        guarded: Set[str] = set()
+        #: (attr, write node, method name) for writes outside any lock
+        unguarded: List[Tuple[str, ast.AST, str]] = []
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            in_init = method.name == "__init__"
+            for attr, write in self._attr_writes(method):
+                if self._under_lock(write, method):
+                    guarded.add(attr)
+                elif not in_init:
+                    unguarded.append((attr, write, method.name))
+        for attr, write, method_name in unguarded:
+            if attr in guarded and "lock" not in attr.lower():
+                yield self.finding(
+                    ctx, write,
+                    f"self.{attr} is lock-guarded elsewhere in "
+                    f"{node.name} but written without the lock in "
+                    f"{method_name}()",
+                )
+
+    @staticmethod
+    def _attr_writes(method: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+        yield from _self_attr_written(method)
+
+    @staticmethod
+    def _under_lock(write: ast.AST, method: ast.AST) -> bool:
+        """True when ``write`` sits inside a lock-holding ``with`` in
+        ``method`` (resolved structurally, not via parent pointers, so
+        the check stays local to the class body)."""
+        for candidate in ast.walk(method):
+            if not isinstance(candidate, ast.With):
+                continue
+            holds_lock = any(
+                "lock" in dotted_name(item.context_expr).lower()
+                for item in candidate.items
+            )
+            if holds_lock and any(
+                sub is write for sub in ast.walk(candidate)
+            ):
+                return True
+        return False
+
+
+@register
+class GlobalMutationRule(Rule):
+    rule_id = "CON003"
+    name = "global-mutation"
+    category = "concurrency"
+    description = (
+        "Rebinding a module global from a function (or mutating a "
+        "lowercase module-level container) is shared cross-thread state "
+        "with no lock and no seed; pass state explicitly."
+    )
+    node_types = (ast.Module,)
+
+    def visit(self, node: ast.Module, ctx: LintContext) -> Iterator[Finding]:
+        module_mutables = self._module_mutables(node)
+        for func in ast.walk(node):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared: Set[str] = set()
+            for stmt in func.body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Global):
+                        declared.update(sub.names)
+            if not declared and not module_mutables:
+                continue
+            yield from self._function_findings(
+                ctx, func, declared, module_mutables
+            )
+
+    @staticmethod
+    def _module_mutables(node: ast.Module) -> Dict[str, ast.AST]:
+        """Module-level lowercase names bound to mutable containers.
+
+        ALL_CAPS names are exempt: registry/constant convention (mutated
+        once at import time by decorators, read-only afterwards).
+        """
+        mutables: Dict[str, ast.AST] = {}
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            value = stmt.value
+            is_container = isinstance(
+                value, (ast.Dict, ast.List, ast.Set)
+            ) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("dict", "list", "set", "defaultdict")
+            )
+            if not is_container:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    name = target.id
+                    if name.lstrip("_") and not name.lstrip("_").isupper():
+                        mutables[name] = stmt
+        return mutables
+
+    def _function_findings(
+        self,
+        ctx: LintContext,
+        func: ast.AST,
+        declared: Set[str],
+        module_mutables: Dict[str, ast.AST],
+    ) -> Iterator[Finding]:
+        local_names = {
+            sub.id
+            for sub in ast.walk(func)
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store)
+        } - declared
+        for sub in ast.walk(func):
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    base = target
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    if not isinstance(base, ast.Name):
+                        continue
+                    if base.id in declared:
+                        yield self.finding(
+                            ctx, sub,
+                            f"global {base.id} rebound inside "
+                            f"{func.name}(); globals are unshared, "
+                            "unseeded cross-thread state",
+                        )
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and base.id in module_mutables
+                        and base.id not in local_names
+                    ):
+                        yield self.finding(
+                            ctx, sub,
+                            f"module-level container {base.id} mutated "
+                            f"inside {func.name}() without a lock",
+                        )
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _MUTATING_METHODS
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id in module_mutables
+                and sub.func.value.id not in local_names
+            ):
+                yield self.finding(
+                    ctx, sub,
+                    f"module-level container {sub.func.value.id} mutated "
+                    f"inside {func.name}() without a lock",
+                )

@@ -1,0 +1,321 @@
+"""Contract rules (CTR*).
+
+The paper's ``verify(g, x)`` contract is a closed ternary: every
+verifier maps into ``Verdict.{VERIFIED, REFUTED, NOT_RELATED}`` and
+every consumer must handle all three.  These rules enforce that, plus
+two generic correctness contracts (no float ``==`` in scoring code, no
+mutable default arguments) and one observability contract (no silently
+swallowed exceptions).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.linter import (
+    Finding,
+    LintContext,
+    Rule,
+    dotted_name,
+    register,
+)
+
+_VERDICT_MEMBERS = {"VERIFIED", "REFUTED", "NOT_RELATED"}
+
+
+def _verdict_member(node: ast.AST) -> Optional[str]:
+    """'VERIFIED' for an expression like ``Verdict.VERIFIED``, else None."""
+    name = dotted_name(node)
+    if "." in name:
+        prefix, member = name.rsplit(".", 1)
+        if prefix.split(".")[-1] == "Verdict" and member in _VERDICT_MEMBERS:
+            return member
+    return None
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func`` without descending into nested function defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class VerdictReturnRule(Rule):
+    rule_id = "CTR001"
+    name = "verdict-return-type"
+    category = "contracts"
+    description = (
+        "A function annotated -> Verdict must return Verdict members on "
+        "every path — not ints, strings, or an implicit None."
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        if node.returns is None:
+            return
+        annotation = ast.unparse(node.returns)
+        if "Verdict" not in annotation:
+            return
+        allows_none = "Optional" in annotation or "None" in annotation
+        for sub in _own_nodes(node):
+            if not isinstance(sub, ast.Return):
+                continue
+            value = sub.value
+            if value is None or (
+                isinstance(value, ast.Constant) and value.value is None
+            ):
+                if not allows_none:
+                    yield self.finding(
+                        ctx, sub,
+                        f"{node.name}() is annotated -> {annotation} but "
+                        "returns None; return an explicit Verdict member",
+                    )
+            elif isinstance(value, ast.Constant):
+                yield self.finding(
+                    ctx, sub,
+                    f"{node.name}() is annotated -> {annotation} but "
+                    f"returns the bare constant {value.value!r}; return a "
+                    "Verdict member",
+                )
+
+
+@register
+class VerdictExhaustivenessRule(Rule):
+    rule_id = "CTR002"
+    name = "verdict-exhaustiveness"
+    category = "contracts"
+    description = (
+        "A dispatch over Verdict (match statement, or an if/elif chain "
+        "testing two or more members) must cover all three members or "
+        "carry an explicit else/wildcard."
+    )
+    node_types = (ast.Match, ast.If)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Match):
+            yield from self._visit_match(node, ctx)
+        else:
+            yield from self._visit_if(node, ctx)
+
+    def _visit_match(self, node: ast.Match, ctx: LintContext) -> Iterator[Finding]:
+        covered: Set[str] = set()
+        verdict_cases = 0
+        for case in node.cases:
+            pattern = case.pattern
+            if isinstance(pattern, ast.MatchValue):
+                member = _verdict_member(pattern.value)
+                if member is not None:
+                    covered.add(member)
+                    verdict_cases += 1
+            elif isinstance(pattern, ast.MatchAs) and pattern.pattern is None:
+                return  # wildcard `case _:` — exhaustive by construction
+            elif isinstance(pattern, ast.MatchOr):
+                for alt in pattern.patterns:
+                    if isinstance(alt, ast.MatchValue):
+                        member = _verdict_member(alt.value)
+                        if member is not None:
+                            covered.add(member)
+                            verdict_cases += 1
+        if verdict_cases and covered != _VERDICT_MEMBERS:
+            missing = ", ".join(sorted(_VERDICT_MEMBERS - covered))
+            yield self.finding(
+                ctx, node,
+                f"match over Verdict misses {missing} and has no "
+                "wildcard case",
+            )
+
+    @staticmethod
+    def _chain_test(test: ast.AST) -> Optional[Tuple[str, str]]:
+        """(subject dump, member) when ``test`` is `x is Verdict.M`."""
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], (ast.Is, ast.Eq))
+            and len(test.comparators) == 1
+        ):
+            return None
+        left, right = test.left, test.comparators[0]
+        member = _verdict_member(right)
+        subject = left
+        if member is None:
+            member = _verdict_member(left)
+            subject = right
+        if member is None:
+            return None
+        return ast.dump(subject), member
+
+    def _visit_if(self, node: ast.If, ctx: LintContext) -> Iterator[Finding]:
+        parent = ctx.parent(node)
+        if (
+            isinstance(parent, ast.If)
+            and len(parent.orelse) == 1
+            and parent.orelse[0] is node
+        ):
+            return  # an elif arm; the chain head reports
+        first = self._chain_test(node.test)
+        if first is None:
+            return
+        subject, member = first
+        covered = {member}
+        tests = 1
+        current: ast.If = node
+        while len(current.orelse) == 1 and isinstance(current.orelse[0], ast.If):
+            current = current.orelse[0]
+            step = self._chain_test(current.test)
+            if step is None or step[0] != subject:
+                return  # mixed chain; not a pure Verdict dispatch
+            covered.add(step[1])
+            tests += 1
+        if current.orelse:
+            return  # explicit else handles the remainder
+        if tests >= 2 and covered != _VERDICT_MEMBERS:
+            missing = ", ".join(sorted(_VERDICT_MEMBERS - covered))
+            yield self.finding(
+                ctx, node,
+                f"if/elif chain over Verdict misses {missing} and has no "
+                "else; handle the remaining verdicts explicitly",
+            )
+
+
+@register
+class FloatEqualityRule(Rule):
+    rule_id = "CTR003"
+    name = "float-equality"
+    category = "contracts"
+    description = (
+        "Scores, margins, and trust weights are floats; == / != on them "
+        "is order-of-operations-fragile. Compare with a tolerance "
+        "(math.isclose) or an inequality."
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        float_names = self._infer_float_locals(node)
+        for sub in _own_nodes(node):
+            if not isinstance(sub, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in sub.ops):
+                continue
+            sides = [sub.left, *sub.comparators]
+            if any(self._is_floaty(side, float_names) for side in sides):
+                yield self.finding(
+                    ctx, sub,
+                    "float equality comparison; use math.isclose(...) or "
+                    "an inequality",
+                )
+
+    def _infer_float_locals(self, func: ast.AST) -> Set[str]:
+        """Names assigned (transitively) from float literals / divisions."""
+        float_names: Set[str] = set()
+        assignments: List[Tuple[str, ast.AST]] = []
+        for sub in _own_nodes(func):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        assignments.append((target.id, sub.value))
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                if isinstance(sub.target, ast.Name) and sub.value is not None:
+                    assignments.append((sub.target.id, sub.value))
+        for _ in range(10):  # fixed-point over at most a short chain
+            before = len(float_names)
+            for name, value in assignments:
+                if self._is_floaty(value, float_names):
+                    float_names.add(name)
+            if len(float_names) == before:
+                break
+        return float_names
+
+    def _is_floaty(self, expr: ast.AST, float_names: Set[str]) -> bool:
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, float)
+        if isinstance(expr, ast.Name):
+            return expr.id in float_names
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, ast.Div):
+                return True
+            return self._is_floaty(expr.left, float_names) or self._is_floaty(
+                expr.right, float_names
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._is_floaty(expr.operand, float_names)
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id == "float"
+        return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "CTR004"
+    name = "mutable-default-arg"
+    category = "contracts"
+    description = (
+        "A mutable default ([] / {} / set()) is created once and shared "
+        "across calls (and threads); default to None and construct inside."
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterator[Finding]:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "defaultdict")
+            ):
+                yield self.finding(
+                    ctx, default,
+                    f"mutable default argument in {node.name}(); use None "
+                    "and construct inside the body",
+                )
+
+
+@register
+class SilentExceptRule(Rule):
+    rule_id = "CTR005"
+    name = "silent-except"
+    category = "contracts"
+    description = (
+        "A bare except, or a broad except whose body only passes, "
+        "swallows failures the verdict pipeline should surface; catch "
+        "the specific exception or handle/re-raise."
+    )
+    node_types = (ast.ExceptHandler,)
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def visit(self, node: ast.ExceptHandler, ctx: LintContext) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                ctx, node,
+                "bare except: catches everything including KeyboardInterrupt;"
+                " name the exception type",
+            )
+            return
+        names = []
+        if isinstance(node.type, (ast.Name, ast.Attribute)):
+            names = [dotted_name(node.type)]
+        elif isinstance(node.type, ast.Tuple):
+            names = [dotted_name(el) for el in node.type.elts]
+        if not any(name.split(".")[-1] in self._BROAD for name in names):
+            return
+        if all(self._is_noop(stmt) for stmt in node.body):
+            yield self.finding(
+                ctx, node,
+                "broad except swallows the failure without re-raising, "
+                "returning, or logging",
+            )
+
+    @staticmethod
+    def _is_noop(stmt: ast.AST) -> bool:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            return True
+        return isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        )

@@ -123,7 +123,7 @@ class ClaimGenerator:
         perturbed = value * factor
         if float(value).is_integer():
             perturbed = float(int(round(perturbed)))
-            if perturbed == value:
+            if int(perturbed) == int(value):
                 perturbed = value + self._rng.choice([-2.0, -1.0, 1.0, 2.0])
         return perturbed
 

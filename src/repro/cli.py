@@ -10,6 +10,7 @@ Subcommands::
     repro verify-batch --lake lake.json --sample 50 --workers 4
     repro discover    --lake lake.json --query "..." [--modality text]
     repro experiment  --name table1 [--scale small]
+    repro lint        [--json] [--baseline lint_baseline.json] [paths...]
 
 Installed as ``python -m repro.cli`` (no console-script entry point to
 keep the package dependency-free).
@@ -119,6 +120,41 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import Baseline, Linter, render_json, render_text
+
+    linter = Linter()
+    root = Path(args.root) if args.root else Path.cwd()
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(map(str, missing))}")
+        return 2
+    findings = linter.lint_paths(paths, root=root)
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(
+            f"repro-lint: wrote {len(findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    suppressed = 0
+    baseline_path = args.baseline
+    if baseline_path is None and Path("lint_baseline.json").is_file():
+        baseline_path = "lint_baseline.json"
+    if baseline_path:
+        findings, suppressed = Baseline.load(baseline_path).filter(findings)
+    if args.json:
+        print(render_json(findings, rules=linter.rules, suppressed=suppressed))
+    else:
+        print(render_text(findings, suppressed=suppressed))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="VerifAI: verified generative AI"
@@ -176,6 +212,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--scale", default="small")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "lint", help="run the repro-lint static analysis rules"
+    )
+    p.add_argument("paths", nargs="*", help="files/dirs (default: src/repro)")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: ./lint_baseline.json if present)",
+    )
+    p.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write current findings as the new baseline and exit 0",
+    )
+    p.add_argument(
+        "--root", default=None,
+        help="directory findings paths are reported relative to",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -68,6 +68,9 @@ class IndexerModule:
         self._combiners: Dict[Modality, Combiner] = {}
         self._vectorizer = HashingVectorizer(dim=self.config.embedding_dim)
         self._built = False
+        # guards the lazy build: search()/verify paths may race to build
+        # from the batch engine's worker threads
+        self._build_lock = threading.Lock()
         # serialized payloads are immutable once an instance is in the
         # lake, so rerankers can share one serialization per instance
         # instead of re-serializing it for every query
@@ -111,9 +114,18 @@ class IndexerModule:
         return self.lake.iter_instances(modality)
 
     def build(self) -> "IndexerModule":
-        """Index every instance of every modality (idempotent)."""
+        """Index every instance of every modality (idempotent, and safe
+        to race: the first caller builds under the lock, later callers
+        see the completed indexes)."""
         if self._built:
             return self
+        with self._build_lock:
+            if self._built:
+                return self
+            self._build_locked()
+        return self
+
+    def _build_locked(self) -> None:
         for modality in _INDEXED_MODALITIES:
             content = InvertedIndex(name=f"bm25-{modality.value}")
             self._content[modality] = content
@@ -140,9 +152,8 @@ class IndexerModule:
                 method=self.config.fusion,
                 name=f"combined-{modality.value}",
             )
-        self._built = True
         self.seal_indexes()
-        return self
+        self._built = True
 
     # ------------------------------------------------------------------
     # incremental updates

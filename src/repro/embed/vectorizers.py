@@ -96,7 +96,7 @@ class TfidfVectorizer:
         """Record document frequencies over ``texts``."""
         for text in texts:
             self._num_docs += 1
-            for token in set(analyze(text)):
+            for token in sorted(set(analyze(text))):
                 self._doc_freq[token] = self._doc_freq.get(token, 0) + 1
         return self
 

@@ -112,7 +112,7 @@ class WorldKnowledge:
             wrong = number * factor
             if float(number).is_integer():
                 wrong = float(int(round(wrong)))
-                if wrong == number:
+                if int(wrong) == int(number):
                     wrong = number + rng.choice([-2.0, -1.0, 1.0, 2.0])
             if "," in actual:
                 return f"{int(wrong):,}"

@@ -224,8 +224,10 @@ def weighted_vote(
             support += weight
         elif verdict is Verdict.REFUTED:
             against += weight
+        else:  # Verdict.NOT_RELATED abstains from the vote
+            continue
     total = support + against
-    if total == 0:
+    if total <= 0.0:
         return Verdict.NOT_RELATED, 0.0
     if support >= against:
         return Verdict.VERIFIED, (support - against) / total

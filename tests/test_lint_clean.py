@@ -1,0 +1,64 @@
+"""Tier-1 gate: the tree itself must satisfy repro-lint.
+
+``src/repro`` is linted against the committed ``lint_baseline.json``;
+any new determinism / concurrency / contract violation fails the suite
+with the same report a developer sees from ``make lint``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import Baseline, Linter, render_text
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "lint_baseline.json"
+
+
+def test_src_repro_lints_clean_against_committed_baseline():
+    findings = Linter().lint_paths([SRC], root=REPO_ROOT)
+    assert BASELINE.is_file(), "lint_baseline.json must be committed"
+    findings, _ = Baseline.load(BASELINE).filter(findings)
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_benchmarks_and_examples_parse_cleanly():
+    # no E001 syntax findings anywhere the linter can reach
+    for directory in (REPO_ROOT / "benchmarks", REPO_ROOT / "examples"):
+        if not directory.is_dir():
+            continue
+        findings = Linter().lint_paths([directory], root=REPO_ROOT)
+        assert not [f for f in findings if f.rule_id == "E001"]
+
+
+def test_cli_lint_exit_codes(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("entry = cache.popitem()\n", encoding="utf-8")
+    clean = tmp_path / "clean.py"
+    clean.write_text("entry = cache.pop('key')\n", encoding="utf-8")
+
+    assert cli_main(["lint", str(clean)]) == 0
+    assert cli_main(["lint", str(dirty)]) == 1
+    assert cli_main(["lint", str(tmp_path / "absent.py")]) == 2
+    capsys.readouterr()
+
+    payload_exit = cli_main(["lint", "--json", str(dirty)])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload_exit == 1
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "DET004"
+
+
+def test_cli_lint_write_then_apply_baseline(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("entry = cache.popitem()\n", encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+
+    assert cli_main(
+        ["lint", "--write-baseline", str(baseline), str(dirty)]
+    ) == 0
+    assert baseline.is_file()
+    assert cli_main(["lint", "--baseline", str(baseline), str(dirty)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
