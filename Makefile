@@ -1,6 +1,6 @@
 # Convenience targets for the VerifAI reproduction.
 
-.PHONY: install check test bench bench-batch bench-paper experiments examples lint lint-json
+.PHONY: install check test test-faults bench bench-batch bench-paper experiments examples lint lint-json
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,8 +8,15 @@ install:
 # the default CI gate: static analysis first, then the test suite
 check: lint test
 
+# tests/ includes tests/test_batch_faults.py, the fault-isolation suite
+# for verification campaigns (poisoned objects, retries, fail_fast, and
+# the no-dangling-provenance invariant)
 test:
 	PYTHONPATH=src pytest tests/ -q
+
+# just the fault-isolation suite, for quick iteration on the boundary
+test-faults:
+	PYTHONPATH=src pytest tests/test_batch_faults.py -q
 
 lint:
 	PYTHONPATH=src python -m repro.cli lint --baseline lint_baseline.json src/repro

@@ -20,8 +20,15 @@ synthetic corpus, and DESIGN.md for the paper-to-module map.
 """
 
 from repro.core.config import VerifAIConfig
-from repro.core.pipeline import BatchReport, VerifAI, VerificationReport
+from repro.core.pipeline import (
+    STATUS_FAILED,
+    STATUS_OK,
+    BatchReport,
+    VerifAI,
+    VerificationReport,
+)
 from repro.repair import RepairAction, Repairer, RepairReport
+from repro.verify.base import VerificationError
 from repro.verify.objects import ClaimObject, TupleObject
 from repro.verify.verdict import Verdict
 
@@ -33,10 +40,13 @@ __all__ = [
     "RepairAction",
     "RepairReport",
     "Repairer",
+    "STATUS_FAILED",
+    "STATUS_OK",
     "TupleObject",
     "Verdict",
     "VerifAI",
     "VerifAIConfig",
+    "VerificationError",
     "VerificationReport",
     "__version__",
 ]

@@ -85,16 +85,41 @@ def _cmd_verify_batch(args: argparse.Namespace) -> int:
 
     system = _system_for(args)
     rng = random.Random(args.seed)
-    tables = sorted(system.lake.tables(), key=lambda t: t.table_id)
+    # a sampleable table needs at least one row and one non-key column;
+    # degenerate tables (empty, or key-only) would crash rng.choice /
+    # rng.randrange, so skip them up front
+    tables = [
+        table
+        for table in sorted(system.lake.tables(), key=lambda t: t.table_id)
+        if table.num_rows > 0
+        and any(c != table.key_column for c in table.columns)
+    ]
+    if not tables:
+        print(
+            "verify-batch: no sampleable tables in the lake "
+            "(every table is empty or has only its key column)",
+            file=sys.stderr,
+        )
+        return 2
     objects = []
     for i in range(args.sample):
         table = rng.choice(tables)
         row = table.row(rng.randrange(table.num_rows))
         column = rng.choice([c for c in table.columns if c != table.key_column])
         objects.append(TupleObject(f"batch-{i:04d}", row, attribute=column))
-    batch = system.verify_batch(objects, max_workers=args.workers)
+    batch = system.verify_batch(
+        objects,
+        max_workers=args.workers,
+        fail_fast=args.fail_fast,
+        max_retries=args.retries,
+    )
     print(batch.summary())
     print(batch.stats.summary())
+    if batch.failed:
+        print(f"{batch.failed} object(s) FAILED:", file=sys.stderr)
+        for report in batch.failures:
+            print(f"  {report.object_id}: {report.error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -194,6 +219,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample", type=int, default=20)
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first per-object fault instead of reporting it",
+    )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts per faulted object "
+             "(default: config batch_max_retries)",
+    )
     p.set_defaults(func=_cmd_verify_batch)
 
     p = sub.add_parser("discover", help="cross-modal discovery query")

@@ -18,6 +18,19 @@ three scaling moves the serial loop cannot make:
 * **instrumentation** — per-stage wall time and cache-hit counters are
   collected into a :class:`BatchStats` attached to the
   :class:`~repro.core.pipeline.BatchReport`.
+
+Every object additionally runs inside a **per-object error boundary**:
+a fault anywhere in its retrieve→rerank→verify chain never propagates
+out of the pool.  The object gets ``max_retries`` extra attempts
+(immediate and deterministic — no sleeps or jitter), and if they are
+exhausted its report comes back with ``status="FAILED"``, the error
+string, and ``final_verdict=NOT_RELATED``, while its provenance record
+is finalized with the same failure (never left dangling).  Stage and
+outcome writes are deferred until an attempt succeeds, so retried
+attempts never duplicate provenance.  ``fail_fast=True`` restores
+raise-on-first-error for callers that prefer a crash (the failing
+object's record is still finalized before the raise; records of other
+in-flight objects may remain open because the campaign aborted).
 """
 
 from __future__ import annotations
@@ -30,14 +43,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import (
     DEFAULT_MODALITIES,
+    STATUS_FAILED,
     BatchReport,
     VerifAI,
     VerificationReport,
+    format_error,
+    safe_query_text,
 )
 from repro.datalake.types import DataInstance, Modality
 from repro.index.base import SearchHit
 from repro.text import analyze_cache_info
 from repro.verify.objects import DataObject
+from repro.verify.verdict import Verdict
 
 #: a cached retrieval: the provenance stages of one (object type, query,
 #: modality, depths) execution; the last stage holds the shortlist
@@ -50,6 +67,8 @@ class BatchStats:
 
     objects: int = 0
     max_workers: int = 1
+    failed: int = 0
+    retries: int = 0
     unique_retrievals: int = 0
     retrieval_cache_hits: int = 0
     verifier_cache_hits: int = 0
@@ -67,6 +86,7 @@ class BatchStats:
         return (
             f"{self.objects} objects on {self.max_workers} workers in "
             f"{total:.3f}s (retrieve {retrieve:.3f}s, verify {verify:.3f}s); "
+            f"{self.failed} failed, {self.retries} retries; "
             f"{self.unique_retrievals} unique retrievals "
             f"({self.retrieval_cache_hits} deduped); cache hits: "
             f"{self.verifier_cache_hits} verifier, "
@@ -76,13 +96,33 @@ class BatchStats:
 
 
 class BatchEngine:
-    """Run one verification campaign over a ``VerifAI`` system."""
+    """Run one verification campaign over a ``VerifAI`` system.
 
-    def __init__(self, system: VerifAI, max_workers: int = 1) -> None:
+    ``fail_fast`` re-raises the first per-object fault instead of
+    reporting it; ``max_retries`` (default
+    ``system.config.batch_max_retries``) grants each object that many
+    extra attempts before it is reported FAILED.
+    """
+
+    def __init__(
+        self,
+        system: VerifAI,
+        max_workers: int = 1,
+        fail_fast: bool = False,
+        max_retries: Optional[int] = None,
+    ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        retries = (
+            max_retries if max_retries is not None
+            else system.config.batch_max_retries
+        )
+        if retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {retries}")
         self.system = system
         self.max_workers = max_workers
+        self.fail_fast = fail_fast
+        self.max_retries = retries
 
     # ------------------------------------------------------------------
     # execution
@@ -107,15 +147,20 @@ class BatchEngine:
         batch_start = time.perf_counter()
 
         # provenance records are allocated serially in input order so
-        # record ids are deterministic regardless of worker scheduling
+        # record ids are deterministic regardless of worker scheduling;
+        # a broken query_text() must not abort allocation — the boundary
+        # in run_one reports it per object
         records = [
-            system.provenance.new_record(obj.object_id, obj.query_text())
+            system.provenance.new_record(obj.object_id, safe_query_text(obj))
             for obj in object_list
         ]
 
         retrieval_cache: Dict[tuple, _Stages] = {}
         cache_lock = threading.Lock()
-        tallies = {"dedup_hits": 0, "retrieve_s": 0.0, "verify_s": 0.0}
+        tallies = {
+            "dedup_hits": 0, "retries": 0, "failed": 0,
+            "retrieve_s": 0.0, "verify_s": 0.0,
+        }
         tally_lock = threading.Lock()
 
         def modalities_for(obj: DataObject) -> Tuple[Modality, ...]:
@@ -123,10 +168,14 @@ class BatchEngine:
                 return tuple(modalities)
             return DEFAULT_MODALITIES.get(type(obj), (Modality.TABLE,))
 
-        def run_one(position: int) -> VerificationReport:
+        def attempt_one(position: int) -> VerificationReport:
+            """One guarded attempt; only mutates the provenance record
+            after the full chain succeeded, so retries never duplicate
+            stages or outcomes."""
             obj = object_list[position]
             record = records[position]
             retrieve_start = time.perf_counter()
+            stage_log: _Stages = []
             evidence: List[DataInstance] = []
             dedup_hits = 0
             for modality in modalities_for(obj):
@@ -146,19 +195,15 @@ class BatchEngine:
                         stages = retrieval_cache.setdefault(key, stages)
                 else:
                     dedup_hits += 1
-                for stage_name, hits in stages:
-                    record.add_stage(stage_name, hits)
+                stage_log.extend(stages)
                 evidence.extend(system.resolve(stages[-1][1]))
             verify_start = time.perf_counter()
             outcomes, final, margin = system.verifier.verify_pool(obj, evidence)
             verify_end = time.perf_counter()
-            for outcome in outcomes:
-                record.add_outcome(
-                    outcome.evidence_id, outcome.verifier, outcome.verdict,
-                    outcome.explanation,
-                )
-            record.final_verdict = int(final)
-            record.final_margin = margin
+            for stage_name, hits in stage_log:
+                record.add_stage(stage_name, hits)
+            record.record_outcomes(outcomes)
+            record.finalize(final, margin)
             with tally_lock:
                 tallies["dedup_hits"] += dedup_hits
                 tallies["retrieve_s"] += verify_start - retrieve_start
@@ -171,6 +216,35 @@ class BatchEngine:
                 evidence_ids=[o.evidence_id for o in outcomes],
                 record_id=record.record_id,
             )
+
+        def run_one(position: int) -> VerificationReport:
+            """The per-object error boundary around ``attempt_one``."""
+            attempts = self.max_retries + 1
+            for attempt in range(attempts):
+                try:
+                    return attempt_one(position)
+                except Exception as exc:
+                    if attempt + 1 < attempts:
+                        with tally_lock:
+                            tallies["retries"] += 1
+                        continue
+                    obj = object_list[position]
+                    record = records[position]
+                    error = format_error(exc)
+                    record.mark_failed(error)
+                    with tally_lock:
+                        tallies["failed"] += 1
+                    if self.fail_fast:
+                        raise
+                    return VerificationReport(
+                        object_id=obj.object_id,
+                        final_verdict=Verdict.NOT_RELATED,
+                        margin=0.0,
+                        record_id=record.record_id,
+                        status=STATUS_FAILED,
+                        error=error,
+                    )
+            raise AssertionError("unreachable: attempts >= 1")  # pragma: no cover
 
         if self.max_workers == 1 or len(object_list) <= 1:
             reports = [run_one(i) for i in range(len(object_list))]
@@ -188,6 +262,8 @@ class BatchEngine:
         stats = BatchStats(
             objects=len(object_list),
             max_workers=self.max_workers,
+            failed=tallies["failed"],
+            retries=tallies["retries"],
             unique_retrievals=len(retrieval_cache),
             retrieval_cache_hits=tallies["dedup_hits"],
             verifier_cache_hits=system.verifier.cache_hits - verifier_hits_before,

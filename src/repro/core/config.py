@@ -36,7 +36,12 @@ class VerifAIConfig:
     * ``verifier_cache_size`` — (object, evidence) outcomes the Verifier
       memoizes (LRU entries);
     * ``batch_max_workers`` — default worker-thread count for
-      :meth:`VerifAI.verify_batch` (1 = serial).
+      :meth:`VerifAI.verify_batch` (1 = serial);
+    * ``batch_max_retries`` — extra attempts the batch engine's
+      per-object error boundary grants an object whose
+      retrieve/rerank/verify raised (0 = fail on the first error).
+      Retries are immediate and deterministic — no sleeps or jitter —
+      so serial and parallel runs stay report-for-report identical.
     """
 
     k_coarse: int = 50
@@ -53,6 +58,7 @@ class VerifAIConfig:
     payload_cache_size: int = 8192
     verifier_cache_size: int = 65536
     batch_max_workers: int = 1
+    batch_max_retries: int = 0
 
     def fine_k(self, modality: Modality) -> int:
         """Shortlist size for one modality."""

@@ -35,10 +35,40 @@ DEFAULT_MODALITIES = {
     ClaimObject: (Modality.TABLE,),
 }
 
+#: report statuses: the pipeline ran to completion vs. the per-object
+#: error boundary caught a fault (see ``VerificationReport.status``)
+STATUS_OK = "OK"
+STATUS_FAILED = "FAILED"
+
+
+def format_error(exc: BaseException) -> str:
+    """The one-line error string reports and records carry for a fault."""
+    return f"{type(exc).__name__}: {exc}"
+
+
+def safe_query_text(obj: DataObject) -> str:
+    """``obj.query_text()``, or "" when the object is too broken to ask.
+
+    Provenance records need *a* query string even for objects whose
+    ``query_text()`` raises; the real exception is re-raised (and
+    reported) by the error boundary around the pipeline itself.
+    """
+    try:
+        return obj.query_text()
+    except Exception:
+        return ""
+
 
 @dataclass
 class VerificationReport:
-    """Everything VerifAI concluded about one data object."""
+    """Everything VerifAI concluded about one data object.
+
+    ``status`` is ``"OK"`` when the pipeline ran to completion and
+    ``"FAILED"`` when the per-object error boundary caught a fault; a
+    failed report carries the error string in ``error`` and pins
+    ``final_verdict`` to NOT_RELATED (a failed verification asserts
+    nothing about the object).
+    """
 
     object_id: str
     final_verdict: Verdict
@@ -46,6 +76,12 @@ class VerificationReport:
     outcomes: List[VerificationOutcome] = field(default_factory=list)
     evidence_ids: List[str] = field(default_factory=list)
     record_id: str = ""
+    status: str = STATUS_OK
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
 
     @property
     def supporting(self) -> List[VerificationOutcome]:
@@ -57,6 +93,8 @@ class VerificationReport:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
+        if self.status == STATUS_FAILED:
+            return f"{self.object_id}: FAILED ({self.error})"
         return (
             f"{self.object_id}: {self.final_verdict} "
             f"(margin {self.margin:.2f}; {len(self.supporting)} supporting, "
@@ -159,23 +197,47 @@ class VerifAI:
         modalities: Optional[Sequence[Modality]] = None,
         k_coarse: Optional[int] = None,
         k_fine: Optional[int] = None,
+        fail_fast: bool = False,
     ) -> VerificationReport:
-        """Discover evidence for ``obj`` across modalities and verify it."""
+        """Discover evidence for ``obj`` across modalities and verify it.
+
+        Runs inside the same per-object error boundary as the batch
+        engine: a fault anywhere in retrieve/rerank/verify finalizes the
+        provenance record with the failure and returns a ``FAILED``
+        report instead of raising.  ``fail_fast=True`` restores
+        raise-on-error (the record is still finalized first, so no
+        dangling lineage either way).
+        """
         if modalities is None:
             modalities = DEFAULT_MODALITIES.get(type(obj), (Modality.TABLE,))
-        record = self.provenance.new_record(obj.object_id, obj.query_text())
-        evidence: List[DataInstance] = []
-        for modality in modalities:
-            hits = self.retrieve(obj, modality, k_coarse, k_fine, record=record)
-            evidence.extend(self.resolve(hits))
-        outcomes, final, margin = self.verifier.verify_pool(obj, evidence)
-        for instance, outcome in zip(evidence, outcomes):
-            record.add_outcome(
-                outcome.evidence_id, outcome.verifier, outcome.verdict,
-                outcome.explanation,
+        record = self.provenance.new_record(
+            obj.object_id, safe_query_text(obj)
+        )
+        try:
+            evidence: List[DataInstance] = []
+            for modality in modalities:
+                hits = self.retrieve(
+                    obj, modality, k_coarse, k_fine, record=record
+                )
+                evidence.extend(self.resolve(hits))
+            outcomes, final, margin = self.verifier.verify_pool(obj, evidence)
+        except Exception as exc:
+            record.mark_failed(format_error(exc))
+            self.generation_log.link_verification(
+                obj.object_id, record.record_id
             )
-        record.final_verdict = int(final)
-        record.final_margin = margin
+            if fail_fast:
+                raise
+            return VerificationReport(
+                object_id=obj.object_id,
+                final_verdict=Verdict.NOT_RELATED,
+                margin=0.0,
+                record_id=record.record_id,
+                status=STATUS_FAILED,
+                error=record.error,
+            )
+        record.record_outcomes(outcomes)
+        record.finalize(final, margin)
         self.generation_log.link_verification(obj.object_id, record.record_id)
         return VerificationReport(
             object_id=obj.object_id,
@@ -193,6 +255,8 @@ class VerifAI:
         max_workers: Optional[int] = None,
         k_coarse: Optional[int] = None,
         k_fine: Optional[int] = None,
+        fail_fast: bool = False,
+        max_retries: Optional[int] = None,
     ) -> "BatchReport":
         """Verify many objects and summarize the campaign.
 
@@ -200,8 +264,13 @@ class VerifAI:
         computed once, retrieval+rerank+verify runs on up to
         ``max_workers`` threads (default ``config.batch_max_workers``,
         1 = the serial path), and report order always matches input
-        order.  The returned :class:`BatchReport` carries stage timings
-        and cache-hit counters in ``stats``.
+        order.  Each object runs inside an error boundary: a fault
+        yields a ``FAILED`` report (after ``max_retries`` extra
+        attempts, default ``config.batch_max_retries``) instead of
+        aborting the campaign; ``fail_fast=True`` restores
+        raise-on-first-error.  The returned :class:`BatchReport` carries
+        stage timings, cache-hit, failure, and retry counters in
+        ``stats``.
         """
         from repro.core.batch import BatchEngine
 
@@ -209,7 +278,10 @@ class VerifAI:
             max_workers if max_workers is not None
             else self.config.batch_max_workers
         )
-        engine = BatchEngine(self, max_workers=workers)
+        engine = BatchEngine(
+            self, max_workers=workers,
+            fail_fast=fail_fast, max_retries=max_retries,
+        )
         return engine.run(
             objects, modalities=modalities, k_coarse=k_coarse, k_fine=k_fine
         )
@@ -257,12 +329,26 @@ class BatchReport:
     def unresolved(self) -> int:
         return self.count(Verdict.NOT_RELATED)
 
+    @property
+    def failed(self) -> int:
+        """Objects whose pipeline faulted (status FAILED).  These also
+        count as ``unresolved`` — a failed verification pins its verdict
+        to NOT_RELATED."""
+        return sum(1 for r in self.reports if r.status == STATUS_FAILED)
+
+    @property
+    def failures(self) -> List[VerificationReport]:
+        """The FAILED reports, in input order."""
+        return [r for r in self.reports if r.status == STATUS_FAILED]
+
     def summary(self) -> str:
         """One-line campaign summary (plus cache stats when present)."""
         line = (
             f"{len(self.reports)} objects: {self.verified} verified, "
             f"{self.refuted} refuted, {self.unresolved} unresolved"
         )
+        if self.failed:
+            line += f" ({self.failed} FAILED)"
         if self.stats is not None:
             line += (
                 f"; verifier cache: {self.stats.verifier_cache_hits} hits, "

@@ -97,7 +97,12 @@ class DataLake:
             table_id, _, row_part = instance_id.rpartition("#r")
             table = self._tables.get(table_id)
             if table is not None:
-                index = int(row_part)
+                try:
+                    index = int(row_part)
+                except ValueError:
+                    # a malformed row suffix ("t#rfoo") is a lookup miss,
+                    # not a caller error — fall through to KeyError
+                    index = -1
                 if 0 <= index < table.num_rows:
                     return table.row(index)
         raise KeyError(f"no instance with id {instance_id!r} in lake {self.name!r}")

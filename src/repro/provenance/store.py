@@ -17,6 +17,11 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.verify.verdict import Verdict
 
+#: lifecycle states of a :class:`VerificationRecord`
+RECORD_OPEN = "open"            # created, verification still running
+RECORD_FINALIZED = "finalized"  # verification completed normally
+RECORD_FAILED = "failed"        # verification aborted; ``error`` says why
+
 
 @dataclass(frozen=True)
 class RetrievalStep:
@@ -38,6 +43,8 @@ class VerificationRecord:
     # outcomes: (evidence_id, verifier, verdict int, explanation)
     final_verdict: Optional[int] = None
     final_margin: float = 0.0
+    status: str = RECORD_OPEN
+    error: str = ""
 
     def add_stage(self, stage: str, hits) -> None:
         """Record one retrieval/rerank stage."""
@@ -52,6 +59,37 @@ class VerificationRecord:
         self, evidence_id: str, verifier: str, verdict: Verdict, explanation: str
     ) -> None:
         self.outcomes.append((evidence_id, verifier, int(verdict), explanation))
+
+    def record_outcomes(self, outcomes) -> None:
+        """Append every :class:`VerificationOutcome` in one call — the
+        single shared recording path for the serial and batch engines."""
+        for outcome in outcomes:
+            self.add_outcome(
+                outcome.evidence_id, outcome.verifier, outcome.verdict,
+                outcome.explanation,
+            )
+
+    def finalize(self, final_verdict: Verdict, margin: float) -> None:
+        """Close the record with the pooled decision."""
+        self.final_verdict = int(final_verdict)
+        self.final_margin = float(margin)
+        self.status = RECORD_FINALIZED
+
+    def mark_failed(self, error: str) -> None:
+        """Close the record with a failure instead of leaving it open.
+
+        The verdict is pinned to NOT_RELATED (a failed verification
+        asserts nothing about the object) and the error is kept for the
+        audit trail."""
+        self.final_verdict = int(Verdict.NOT_RELATED)
+        self.final_margin = 0.0
+        self.status = RECORD_FAILED
+        self.error = error
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the record is still dangling (never finalized)."""
+        return self.status == RECORD_OPEN
 
     def evidence_ids(self) -> List[str]:
         """Every instance id this record touched, in stage order."""
@@ -89,6 +127,12 @@ class ProvenanceStore:
         """All verification runs for one data object."""
         return [self._records[r] for r in self._by_object.get(object_id, [])]
 
+    def open_records(self) -> List[VerificationRecord]:
+        """Records that were opened but never finalized or failed —
+        dangling lineage a crashed campaign would leave behind.  A
+        healthy store returns an empty list between campaigns."""
+        return [r for r in self._records.values() if r.is_open]
+
     def records_using_evidence(self, instance_id: str) -> List[VerificationRecord]:
         """Every record whose pipeline touched ``instance_id`` — the
         query to run when a lake instance turns out to be flawed."""
@@ -113,6 +157,8 @@ class ProvenanceStore:
                 f"  verify({evidence_id}) by {verifier} -> "
                 f"{Verdict(verdict)}: {explanation}"
             )
+        if record.status == RECORD_FAILED:
+            lines.append(f"  FAILED: {record.error}")
         if record.final_verdict is not None:
             lines.append(
                 f"  final: {Verdict(record.final_verdict)} "
@@ -155,6 +201,10 @@ class ProvenanceStore:
                 outcomes=[tuple(o) for o in entry["outcomes"]],
                 final_verdict=entry["final_verdict"],
                 final_margin=entry["final_margin"],
+                # stores written before record lifecycles only persisted
+                # completed runs
+                status=entry.get("status", RECORD_FINALIZED),
+                error=entry.get("error", ""),
             )
             store._records[record.record_id] = record
             store._by_object.setdefault(record.object_id, []).append(

@@ -89,14 +89,31 @@ class Repairer:
         self.system = system
 
     def _evidence_value(self, report, column: str) -> Optional[tuple]:
-        """(value, evidence_id) stated by the strongest refuting tuple."""
+        """(value, evidence_id) stated by the strongest refuting tuple.
+
+        "Strongest" means highest source trust (the same trust scores
+        the verifier's vote uses, default 1.0), with evidence_id as a
+        deterministic tie-break — so repairs prefer values from trusted
+        sources rather than whichever refuter happened to come first in
+        evidence order.
+        """
+        verifier = self.system.verifier
+        candidates = []
         for outcome in report.refuting:
             evidence = self.system.lake.instance(outcome.evidence_id)
             if isinstance(evidence, Row):
                 value = evidence.get(column)
                 if value is not None:
-                    return value, outcome.evidence_id
-        return None
+                    trust = verifier.source_trust.get(
+                        verifier.source_of(evidence), 1.0
+                    )
+                    candidates.append(
+                        (-trust, outcome.evidence_id, value)
+                    )
+        if not candidates:
+            return None
+        _, evidence_id, value = min(candidates)
+        return value, evidence_id
 
     def repair_value(
         self,

@@ -213,8 +213,9 @@ def weighted_vote(
     """Trust-weighted aggregation of per-evidence verdicts into a final
     decision: (verdict, margin in [0, 1]).
 
-    NOT_RELATED outcomes abstain; with no votes the result is
-    (NOT_RELATED, 0.0).
+    NOT_RELATED outcomes abstain; with no votes — or an exact
+    support/against tie, which carries no signal either way — the
+    result is (NOT_RELATED, 0.0).
     """
     support = 0.0
     against = 0.0
@@ -229,6 +230,8 @@ def weighted_vote(
     total = support + against
     if total <= 0.0:
         return Verdict.NOT_RELATED, 0.0
-    if support >= against:
+    if support > against:
         return Verdict.VERIFIED, (support - against) / total
-    return Verdict.REFUTED, (against - support) / total
+    if against > support:
+        return Verdict.REFUTED, (against - support) / total
+    return Verdict.NOT_RELATED, 0.0

@@ -16,7 +16,7 @@ A :class:`VerifierAgent` decides which verifier handles a given
 """
 
 from repro.verify.agent import VerifierAgent
-from repro.verify.base import VerificationOutcome, Verifier
+from repro.verify.base import VerificationError, VerificationOutcome, Verifier
 from repro.verify.kg_verifier import KGVerifier
 from repro.verify.llm_verifier import LLMVerifier
 from repro.verify.objects import ClaimObject, DataObject, TupleObject
@@ -32,6 +32,7 @@ __all__ = [
     "PastaVerifier",
     "TupleObject",
     "TupleVerifier",
+    "VerificationError",
     "VerificationOutcome",
     "Verdict",
     "Verifier",

@@ -11,6 +11,18 @@ from repro.verify.objects import DataObject
 from repro.verify.verdict import Verdict
 
 
+class VerificationError(RuntimeError):
+    """A verifier (or a stage feeding it) failed on one object.
+
+    The batch engine's per-object error boundary treats this — like any
+    other ``Exception`` — as a per-object failure: the object's report
+    comes back ``FAILED`` and its provenance record is finalized with
+    the error instead of the whole campaign aborting.  Raise it from
+    custom verifiers to signal a fault that is *about the input*, and
+    therefore worth a bounded retry when transient.
+    """
+
+
 @dataclass(frozen=True)
 class VerificationOutcome:
     """Result of one verify(g, x) call, with its explanation trail."""

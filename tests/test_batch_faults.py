@@ -1,0 +1,276 @@
+"""Fault isolation in the verification pipeline.
+
+One poisoned object must never abort a campaign: its report comes back
+FAILED (with the error string and a NOT_RELATED verdict), its provenance
+record is finalized with the failure, and every other object completes
+normally — identically under serial and parallel execution.  These
+tests pin that contract, plus bounded deterministic retries and the
+opt-in ``fail_fast`` raise-on-first-error escape hatch.
+"""
+
+import pytest
+
+from repro.core.config import VerifAIConfig
+from repro.core.pipeline import STATUS_FAILED, STATUS_OK, VerifAI
+from repro.llm.model import SimulatedLLM
+from repro.provenance.store import RECORD_FAILED, RECORD_FINALIZED
+from repro.verify.base import VerificationError, Verifier
+from repro.verify.objects import TupleObject
+from repro.verify.verdict import Verdict
+from repro.workloads.builder import LakeConfig, build_lake
+
+
+class PoisonedObject(TupleObject):
+    """A TupleObject whose query_text() always raises."""
+
+    def query_text(self) -> str:
+        raise RuntimeError(f"poisoned payload in {self.object_id}")
+
+
+class FlakyVerifier(Verifier):
+    """Raises VerificationError for the first ``failures`` calls, then
+    verifies everything."""
+
+    name = "flaky"
+
+    def __init__(self, failures: int = 1):
+        self.failures = failures
+        self.calls = 0
+
+    def supports(self, obj, evidence) -> bool:
+        return True
+
+    def verify(self, obj, evidence):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise VerificationError("transient backend hiccup")
+        return self._outcome(Verdict.VERIFIED, "ok after retry", evidence)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_lake(LakeConfig(num_tables=40, seed=21))
+
+
+#: positions of the poisoned objects in the 50-object campaign
+POISONED = {7, 19, 23, 31, 42}
+
+
+@pytest.fixture(scope="module")
+def mixed_workload(bundle):
+    """50 objects, 5 of them poisoned, spread through the batch."""
+    objects = []
+    tables = bundle.tables
+    for i in range(50):
+        table = tables[i % len(tables)]
+        row = table.row(i % table.num_rows)
+        cls = PoisonedObject if i in POISONED else TupleObject
+        objects.append(cls(f"obj-{i:02d}", row, attribute=table.columns[1]))
+    return objects
+
+
+def make_system(bundle, **config_kwargs):
+    llm = SimulatedLLM(knowledge=None, seed=26)
+    config = VerifAIConfig(**config_kwargs) if config_kwargs else None
+    return VerifAI(bundle.lake, llm=llm, config=config).build_indexes()
+
+
+def fingerprint(batch):
+    return [
+        (
+            r.object_id, r.status, r.error, r.final_verdict, r.margin,
+            [(o.evidence_id, o.verdict, o.verifier) for o in r.outcomes],
+            r.record_id,
+        )
+        for r in batch.reports
+    ]
+
+
+class TestPoisonedBatch:
+    def test_campaign_survives_poisoned_objects(self, bundle, mixed_workload):
+        system = make_system(bundle)
+        batch = system.verify_batch(mixed_workload, max_workers=1)
+        assert len(batch) == 50
+        assert batch.failed == 5
+        statuses = [r.status for r in batch.reports]
+        assert [i for i, s in enumerate(statuses) if s == STATUS_FAILED] == (
+            sorted(POISONED)
+        )
+        assert statuses.count(STATUS_OK) == 45
+
+    def test_failed_reports_carry_the_error(self, bundle, mixed_workload):
+        system = make_system(bundle)
+        batch = system.verify_batch(mixed_workload)
+        for report in batch.failures:
+            assert report.final_verdict is Verdict.NOT_RELATED
+            assert report.margin == 0.0
+            assert report.outcomes == []
+            assert "RuntimeError" in report.error
+            assert report.object_id in report.error
+            assert not report.ok
+            assert "FAILED" in report.summary()
+
+    def test_serial_and_parallel_identical(self, bundle, mixed_workload):
+        serial = make_system(bundle).verify_batch(
+            mixed_workload, max_workers=1
+        )
+        parallel = make_system(bundle).verify_batch(
+            mixed_workload, max_workers=4
+        )
+        assert fingerprint(serial) == fingerprint(parallel)
+        assert [r.object_id for r in serial.reports] == [
+            o.object_id for o in mixed_workload
+        ]
+
+    def test_no_dangling_provenance_records(self, bundle, mixed_workload):
+        for workers in (1, 4):
+            system = make_system(bundle)
+            batch = system.verify_batch(mixed_workload, max_workers=workers)
+            assert len(system.provenance) == len(mixed_workload)
+            assert system.provenance.open_records() == []
+            for report in batch.reports:
+                record = system.provenance.get(report.record_id)
+                if report.ok:
+                    assert record.status == RECORD_FINALIZED
+                    assert record.error == ""
+                else:
+                    assert record.status == RECORD_FAILED
+                    assert record.error == report.error
+                    assert record.final_verdict == int(Verdict.NOT_RELATED)
+
+    def test_failed_record_explain_mentions_failure(self, bundle,
+                                                    mixed_workload):
+        system = make_system(bundle)
+        batch = system.verify_batch(mixed_workload)
+        explanation = system.explain(batch.failures[0])
+        assert "FAILED" in explanation
+        assert "RuntimeError" in explanation
+
+    def test_stats_and_summaries_surface_failures(self, bundle,
+                                                  mixed_workload):
+        system = make_system(bundle)
+        batch = system.verify_batch(mixed_workload)
+        assert batch.stats.failed == 5
+        assert batch.stats.retries == 0
+        assert "5 failed" in batch.stats.summary()
+        assert "(5 FAILED)" in batch.summary()
+
+
+class TestRetries:
+    def test_retry_then_succeed(self, bundle):
+        system = make_system(
+            bundle, prefer_local=True, batch_max_retries=1
+        )
+        flaky = FlakyVerifier(failures=1)
+        system.verifier.agent.local_verifiers.append(flaky)
+        obj = TupleObject(
+            "flaky-1", bundle.tables[0].row(0),
+            attribute=bundle.tables[0].columns[1],
+        )
+        batch = system.verify_batch([obj, obj])
+        assert all(r.ok for r in batch.reports)
+        assert batch.stats.retries == 1
+        assert batch.stats.failed == 0
+        assert system.provenance.open_records() == []
+
+    def test_retries_exhausted_reports_failure(self, bundle):
+        system = make_system(
+            bundle, prefer_local=True, batch_max_retries=2
+        )
+        system.verifier.agent.local_verifiers.append(
+            FlakyVerifier(failures=10 ** 6)
+        )
+        obj = TupleObject(
+            "flaky-2", bundle.tables[0].row(0),
+            attribute=bundle.tables[0].columns[1],
+        )
+        batch = system.verify_batch([obj])
+        assert batch.failed == 1
+        assert batch.stats.retries == 2
+        assert "VerificationError" in batch.reports[0].error
+
+    def test_max_retries_argument_overrides_config(self, bundle):
+        system = make_system(bundle, prefer_local=True)
+        flaky = FlakyVerifier(failures=1)
+        system.verifier.agent.local_verifiers.append(flaky)
+        obj = TupleObject(
+            "flaky-3", bundle.tables[0].row(0),
+            attribute=bundle.tables[0].columns[1],
+        )
+        batch = system.verify_batch([obj], max_retries=3)
+        assert batch.failed == 0
+        assert batch.stats.retries == 1
+
+    def test_negative_retries_rejected(self, bundle):
+        from repro.core.batch import BatchEngine
+
+        with pytest.raises(ValueError):
+            BatchEngine(make_system(bundle), max_retries=-1)
+
+
+class TestFailFast:
+    def test_fail_fast_raises(self, bundle, mixed_workload):
+        system = make_system(bundle)
+        with pytest.raises(RuntimeError, match="poisoned payload"):
+            system.verify_batch(mixed_workload, fail_fast=True)
+
+    def test_fail_fast_still_finalizes_the_failing_record(self, bundle):
+        system = make_system(bundle)
+        poisoned = PoisonedObject(
+            "only-bad", bundle.tables[0].row(0),
+            attribute=bundle.tables[0].columns[1],
+        )
+        with pytest.raises(RuntimeError):
+            system.verify_batch([poisoned], fail_fast=True)
+        records = system.provenance.records_for_object("only-bad")
+        assert len(records) == 1
+        assert records[0].status == RECORD_FAILED
+
+
+class TestSerialVerifyBoundary:
+    def test_serial_verify_returns_failed_report(self, bundle):
+        system = make_system(bundle)
+        poisoned = PoisonedObject(
+            "bad-serial", bundle.tables[0].row(0),
+            attribute=bundle.tables[0].columns[1],
+        )
+        report = system.verify(poisoned)
+        assert report.status == STATUS_FAILED
+        assert report.final_verdict is Verdict.NOT_RELATED
+        assert "RuntimeError" in report.error
+        assert system.provenance.open_records() == []
+        record = system.provenance.get(report.record_id)
+        assert record.status == RECORD_FAILED
+
+    def test_serial_verify_fail_fast_raises(self, bundle):
+        system = make_system(bundle)
+        poisoned = PoisonedObject(
+            "bad-serial-ff", bundle.tables[0].row(0),
+            attribute=bundle.tables[0].columns[1],
+        )
+        with pytest.raises(RuntimeError):
+            system.verify(poisoned, fail_fast=True)
+        assert system.provenance.open_records() == []
+
+    def test_verification_error_is_a_runtime_error(self):
+        assert issubclass(VerificationError, RuntimeError)
+        from repro.verify import VerificationError as exported
+
+        assert exported is VerificationError
+
+
+class TestFailedRecordPersistence:
+    def test_failed_records_roundtrip(self, bundle, mixed_workload,
+                                      tmp_path):
+        from repro.provenance.store import ProvenanceStore
+
+        system = make_system(bundle)
+        system.verify_batch(mixed_workload[:10])
+        path = tmp_path / "provenance.json"
+        system.provenance.save(path)
+        loaded = ProvenanceStore.load(path)
+        assert len(loaded) == len(system.provenance)
+        for record_id, record in loaded._records.items():
+            original = system.provenance.get(record_id)
+            assert record.status == original.status
+            assert record.error == original.error

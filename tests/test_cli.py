@@ -113,6 +113,47 @@ class TestVerifyBatch:
         assert serial.split(";")[0] == parallel.split(";")[0]
 
 
+class TestVerifyBatchDegenerateLakes:
+    @staticmethod
+    def _save(tmp_path, tables, name):
+        from repro.datalake.lake import DataLake
+
+        lake = DataLake(name)
+        for table in tables:
+            lake.add_table(table)
+        path = tmp_path / f"{name}.json"
+        save_lake(lake, str(path))
+        return str(path)
+
+    def test_only_unusable_tables_error_cleanly(self, tmp_path, capsys):
+        from repro.datalake.types import Source, Table
+
+        path = self._save(tmp_path, [
+            # empty table: rng.randrange(0) would crash
+            Table("t-empty", "empty", ("name", "value"), [],
+                  source=Source("s")),
+            # key-only table: rng.choice([]) would crash
+            Table("t-keyonly", "key only", ("name",), [("a",)],
+                  source=Source("s")),
+        ], "degenerate")
+        code = main(["verify-batch", "--lake", path, "--sample", "3"])
+        assert code == 2
+        assert "no sampleable tables" in capsys.readouterr().err
+
+    def test_unusable_tables_skipped(self, tmp_path, capsys):
+        from repro.datalake.types import Source, Table
+
+        path = self._save(tmp_path, [
+            Table("t-empty", "empty", ("name", "value"), [],
+                  source=Source("s")),
+            Table("t-good", "lone usable table", ("name", "value"),
+                  [("alpha", "1"), ("beta", "2")], source=Source("s")),
+        ], "mixed")
+        code = main(["verify-batch", "--lake", path, "--sample", "4"])
+        assert code == 0
+        assert "4 objects" in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_runs_named_experiment(self, capsys):
         code = main(["experiment", "--name", "headline", "--scale", "small"])

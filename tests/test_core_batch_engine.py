@@ -77,6 +77,25 @@ class TestParallelEquivalence:
             assert record.retrieval, "stages must be replayed into the record"
             assert record.final_verdict == int(report.final_verdict)
 
+    def test_serial_verify_and_batch_produce_identical_records(
+        self, bundle, workload
+    ):
+        """The serial path and the batch engine share one
+        record-outcomes helper; their provenance must be equal
+        field-for-field for the same objects."""
+        from dataclasses import asdict
+
+        serial_system = make_system(bundle)
+        batch_system = make_system(bundle)
+        for obj in workload:
+            serial_system.verify(obj)
+        batch = batch_system.verify_batch(workload)
+        assert len(serial_system.provenance) == len(batch_system.provenance)
+        for report in batch.reports:
+            serial_record = serial_system.provenance.get(report.record_id)
+            batch_record = batch_system.provenance.get(report.record_id)
+            assert asdict(serial_record) == asdict(batch_record)
+
     def test_report_order_matches_input_order(self, bundle, workload):
         system = make_system(bundle)
         batch = system.verify_batch(workload, max_workers=4)

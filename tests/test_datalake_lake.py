@@ -53,6 +53,20 @@ class TestLookup:
         with pytest.raises(KeyError):
             tiny_lake.instance(f"{election_table.table_id}#r99")
 
+    def test_instance_malformed_row_suffix(self, tiny_lake, election_table):
+        # "t#rfoo" must honour the documented KeyError contract, not
+        # leak the int() ValueError
+        with pytest.raises(KeyError):
+            tiny_lake.instance(f"{election_table.table_id}#rfoo")
+
+    def test_instance_negative_row_suffix(self, tiny_lake, election_table):
+        with pytest.raises(KeyError):
+            tiny_lake.instance(f"{election_table.table_id}#r-1")
+
+    def test_malformed_row_suffix_not_contained(self, tiny_lake,
+                                                election_table):
+        assert f"{election_table.table_id}#rfoo" not in tiny_lake
+
     def test_contains(self, tiny_lake, election_table):
         assert election_table.table_id in tiny_lake
         assert f"{election_table.table_id}#r0" in tiny_lake

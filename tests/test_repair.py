@@ -47,6 +47,53 @@ class TestRepairValue:
         assert record.object_id == "r4"
 
 
+class TestRepairPrefersTrustedSources:
+    def _make_repairer(self, source_trust, quiet_profile):
+        from repro.datalake.lake import DataLake
+        from repro.datalake.types import Source, Table
+
+        lake = DataLake("conflicting")
+        lake.add_table(Table(
+            "t-curated", "ohio election results curated",
+            ("district", "votes"), [("ohio 9", "111,000")],
+            source=Source("curated"), key_column="district",
+        ))
+        lake.add_table(Table(
+            "t-scraped", "ohio election results scraped",
+            ("district", "votes"), [("ohio 9", "222,000")],
+            source=Source("scraped"), key_column="district",
+        ))
+        llm = SimulatedLLM(knowledge=None, profile=quiet_profile, seed=30)
+        system = VerifAI(
+            lake, llm=llm, source_trust=source_trust
+        ).build_indexes()
+        return Repairer(system)
+
+    def test_strongest_refuter_wins(self, quiet_profile):
+        repairer = self._make_repairer(
+            {"curated": 0.9, "scraped": 0.1}, quiet_profile
+        )
+        row = repairer.system.lake.table("t-curated").row(0).replace_value(
+            "votes", "999"
+        )
+        result = repairer.repair_value("p1", row, "votes")
+        assert result.action is RepairAction.REPAIRED
+        assert result.final_value == "111,000"
+        assert result.evidence_id == "t-curated#r0"
+
+    def test_trust_flips_the_repair(self, quiet_profile):
+        repairer = self._make_repairer(
+            {"curated": 0.1, "scraped": 0.9}, quiet_profile
+        )
+        row = repairer.system.lake.table("t-curated").row(0).replace_value(
+            "votes", "999"
+        )
+        result = repairer.repair_value("p2", row, "votes")
+        assert result.action is RepairAction.REPAIRED
+        assert result.final_value == "222,000"
+        assert result.evidence_id == "t-scraped#r0"
+
+
 class TestRepairBatch:
     def test_mixed_batch(self, repairer, election_table):
         items = [

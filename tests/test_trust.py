@@ -132,10 +132,20 @@ class TestWeightedVote:
     def test_empty(self):
         assert weighted_vote([], {})[0] is Verdict.NOT_RELATED
 
-    def test_tie_goes_to_verified(self):
+    def test_exact_tie_abstains(self):
+        # a perfect support/against tie carries no signal either way:
+        # the vote must abstain rather than default to VERIFIED
         verdict, margin = weighted_vote(
             [("a", Verdict.VERIFIED), ("b", Verdict.REFUTED)], {},
             default_trust=1.0,
         )
-        assert verdict is Verdict.VERIFIED
+        assert verdict is Verdict.NOT_RELATED
         assert margin == 0.0
+
+    def test_weighted_tie_abstains(self):
+        verdict, _ = weighted_vote(
+            [("heavy", Verdict.VERIFIED),
+             ("light-a", Verdict.REFUTED), ("light-b", Verdict.REFUTED)],
+            {"heavy": 0.8, "light-a": 0.4, "light-b": 0.4},
+        )
+        assert verdict is Verdict.NOT_RELATED
