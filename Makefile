@@ -1,12 +1,13 @@
 # Convenience targets for the VerifAI reproduction.
 
-.PHONY: install check test test-faults bench bench-batch bench-paper experiments examples lint lint-json
+.PHONY: install check test test-faults test-obs trace-demo bench bench-batch bench-paper experiments examples lint lint-json
 
 install:
 	pip install -e . --no-build-isolation
 
 # the default CI gate: static analysis first, then the test suite
-check: lint test
+# (which includes the observability smoke below)
+check: lint test-obs test
 
 # tests/ includes tests/test_batch_faults.py, the fault-isolation suite
 # for verification campaigns (poisoned objects, retries, fail_fast, and
@@ -17,6 +18,20 @@ test:
 # just the fault-isolation suite, for quick iteration on the boundary
 test-faults:
 	PYTHONPATH=src pytest tests/test_batch_faults.py -q
+
+# observability smoke: clocks, metrics scopes, and byte-stable traces
+test-obs:
+	PYTHONPATH=src pytest tests/test_obs_clock_metrics.py tests/test_obs_trace.py -q
+
+# end-to-end trace demo: build a small lake, run a traced campaign,
+# render the span tree (artifacts land in /tmp)
+trace-demo:
+	PYTHONPATH=src python -m repro.cli build-lake --tables 40 \
+		--out /tmp/repro-trace-lake.json
+	PYTHONPATH=src python -m repro.cli verify-batch \
+		--lake /tmp/repro-trace-lake.json --sample 8 --workers 4 \
+		--trace /tmp/repro-trace.json
+	PYTHONPATH=src python -m repro.cli trace /tmp/repro-trace.json
 
 lint:
 	PYTHONPATH=src python -m repro.cli lint --baseline lint_baseline.json src/repro

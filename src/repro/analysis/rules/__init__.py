@@ -1,5 +1,10 @@
 """Rule packages; importing this module populates the rule registry."""
 
-from repro.analysis.rules import concurrency, contracts, determinism
+from repro.analysis.rules import (
+    concurrency,
+    contracts,
+    determinism,
+    observability,
+)
 
-__all__ = ["concurrency", "contracts", "determinism"]
+__all__ = ["concurrency", "contracts", "determinism", "observability"]

@@ -7,7 +7,9 @@ Subcommands::
     repro verify-claim --lake lake.json --text "..." [--context "..."]
     repro verify-tuple --lake lake.json --table-id T --row 0 \
                        --column votes --value "123,456"
-    repro verify-batch --lake lake.json --sample 50 --workers 4
+    repro verify-batch --lake lake.json --sample 50 --workers 4 \
+                       [--trace out.json]
+    repro trace       out.json [--json]
     repro discover    --lake lake.json --query "..." [--modality text]
     repro experiment  --name table1 [--scale small]
     repro lint        [--json] [--baseline lint_baseline.json] [paths...]
@@ -112,14 +114,36 @@ def _cmd_verify_batch(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         fail_fast=args.fail_fast,
         max_retries=args.retries,
+        trace=args.trace is not None,
     )
     print(batch.summary())
     print(batch.stats.summary())
+    if args.trace is not None:
+        from repro.obs.export import write_trace
+
+        path = write_trace(batch.trace, args.trace)
+        print(f"trace: {len(batch.trace)} spans -> {path}")
     if batch.failed:
         print(f"{batch.failed} object(s) FAILED:", file=sys.stderr)
         for report in batch.failures:
             print(f"  {report.object_id}: {report.error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import load_trace, render_trace_json
+    from repro.obs.render import render_tree
+
+    try:
+        payload = load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_trace_json(payload))
+    else:
+        print(render_tree(payload))
     return 0
 
 
@@ -228,7 +252,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts per faulted object "
              "(default: config batch_max_retries)",
     )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span trace of the campaign and write it to PATH "
+             "(stable JSON; inspect with `repro trace PATH`)",
+    )
     p.set_defaults(func=_cmd_verify_batch)
+
+    p = sub.add_parser(
+        "trace", help="render a trace file written by verify-batch --trace"
+    )
+    p.add_argument("file", help="trace JSON file")
+    p.add_argument(
+        "--json", action="store_true",
+        help="re-emit the validated stable JSON instead of the tree",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("discover", help="cross-modal discovery query")
     p.add_argument("--lake", required=True)

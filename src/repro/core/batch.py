@@ -7,7 +7,10 @@ three scaling moves the serial loop cannot make:
 * **retrieval dedup** — objects that issue the identical retrieval
   (same object type, query text, modality, and depths) share one
   execution; each object still gets the full stage list replayed into
-  its own provenance record;
+  its own provenance record.  The dedup plan is computed up front from
+  the inputs alone, so the reported dedup counters (and the ``dedup``
+  span attribute) are deterministic regardless of which worker happens
+  to execute a shared retrieval first;
 * **thread parallelism** — a ``ThreadPoolExecutor`` fans objects out to
   ``max_workers`` threads (1 = the serial path, the default).  Every
   shared structure the workers touch (verifier outcome cache, payload
@@ -15,9 +18,16 @@ three scaling moves the serial loop cannot make:
   order) is either lock-protected or owned by exactly one worker, and
   all components are deterministic per input, so the parallel run is
   report-for-report identical to the serial one;
-* **instrumentation** — per-stage wall time and cache-hit counters are
-  collected into a :class:`BatchStats` attached to the
-  :class:`~repro.core.pipeline.BatchReport`.
+* **observability** — the campaign activates a per-run metrics
+  :class:`~repro.obs.metrics.Scope` on every thread that works for it,
+  so the :class:`BatchStats` attached to the
+  :class:`~repro.core.pipeline.BatchReport` reflects *this* campaign's
+  cache traffic even when other campaigns interleave in the same
+  process.  ``run(..., trace=True)`` additionally records a span tree
+  (``verify_batch`` → per-object ``verify`` → retrieval stages →
+  ``verify_pool`` → per-evidence ``verdict``) whose export is
+  byte-identical for serial and parallel runs under a deterministic
+  clock.
 
 Every object additionally runs inside a **per-object error boundary**:
 a fault anywhere in its retrieve→rerank→verify chain never propagates
@@ -26,8 +36,9 @@ out of the pool.  The object gets ``max_retries`` extra attempts
 exhausted its report comes back with ``status="FAILED"``, the error
 string, and ``final_verdict=NOT_RELATED``, while its provenance record
 is finalized with the same failure (never left dangling).  Stage and
-outcome writes are deferred until an attempt succeeds, so retried
-attempts never duplicate provenance.  ``fail_fast=True`` restores
+outcome writes — and span commits — are deferred until an attempt
+succeeds or fails for the last time, so retried attempts never
+duplicate provenance or trace spans.  ``fail_fast=True`` restores
 raise-on-first-error for callers that prefer a crash (the failing
 object's record is still finalized before the raise; records of other
 in-flight objects may remain open because the campaign aborted).
@@ -36,7 +47,6 @@ in-flight objects may remain open because the campaign aborted).
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -52,7 +62,8 @@ from repro.core.pipeline import (
 )
 from repro.datalake.types import DataInstance, Modality
 from repro.index.base import SearchHit
-from repro.text import analyze_cache_info
+from repro.obs.metrics import Scope
+from repro.obs.trace import NULL_BRANCH, Span, Tracer
 from repro.verify.objects import DataObject
 from repro.verify.verdict import Verdict
 
@@ -63,7 +74,12 @@ _Stages = List[Tuple[str, List[SearchHit]]]
 
 @dataclass
 class BatchStats:
-    """What one ``verify_batch`` run cost and what the caches saved."""
+    """What one ``verify_batch`` run cost and what the caches saved.
+
+    Built from the campaign's metrics :class:`~repro.obs.metrics.Scope`
+    (see :meth:`from_scope`), so cache counters attribute to *this*
+    campaign's threads rather than to process-wide deltas.
+    """
 
     objects: int = 0
     max_workers: int = 1
@@ -78,14 +94,50 @@ class BatchStats:
     analyze_cache_hits: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
 
+    @classmethod
+    def from_scope(
+        cls,
+        scope: Scope,
+        *,
+        objects: int,
+        max_workers: int,
+        unique_retrievals: int,
+        retrieval_cache_hits: int,
+        verifier_cache_entries: int,
+        verifier_cache_size: int,
+        stage_seconds: Dict[str, float],
+    ) -> "BatchStats":
+        """Assemble stats from the campaign's scope plus plan-derived
+        values the scope cannot know (dedup plan, cache geometry)."""
+        return cls(
+            objects=objects,
+            max_workers=max_workers,
+            failed=int(scope.value("batch.failed")),
+            retries=int(scope.value("batch.retries")),
+            unique_retrievals=unique_retrievals,
+            retrieval_cache_hits=retrieval_cache_hits,
+            verifier_cache_hits=int(scope.value("verifier.cache.hits")),
+            verifier_cache_entries=verifier_cache_entries,
+            verifier_cache_size=verifier_cache_size,
+            payload_cache_hits=int(
+                scope.value("indexer.payload_cache.hits")
+            ),
+            analyze_cache_hits=int(scope.value("text.analyze_cache.hits")),
+            stage_seconds=dict(stage_seconds),
+        )
+
     def summary(self) -> str:
-        """One-line cost/caching view of the batch."""
-        total = self.stage_seconds.get("total", 0.0)
-        retrieve = self.stage_seconds.get("retrieve", 0.0)
-        verify = self.stage_seconds.get("verify", 0.0)
+        """One-line cost/caching view of the batch.
+
+        Stage timings print in sorted stage-name order so the line is
+        stable however the ``stage_seconds`` dict was populated."""
+        stages = ", ".join(
+            f"{name} {seconds:.3f}s"
+            for name, seconds in sorted(self.stage_seconds.items())
+        )
         return (
-            f"{self.objects} objects on {self.max_workers} workers in "
-            f"{total:.3f}s (retrieve {retrieve:.3f}s, verify {verify:.3f}s); "
+            f"{self.objects} objects on {self.max_workers} workers "
+            f"({stages}); "
             f"{self.failed} failed, {self.retries} retries; "
             f"{self.unique_retrievals} unique retrievals "
             f"({self.retrieval_cache_hits} deduped); cache hits: "
@@ -133,150 +185,282 @@ class BatchEngine:
         modalities: Optional[Sequence[Modality]] = None,
         k_coarse: Optional[int] = None,
         k_fine: Optional[int] = None,
+        trace: bool = False,
     ) -> BatchReport:
         """Verify every object; reports come back in input order."""
         system = self.system
+        clock = system.clock
+        registry = system.metrics
         object_list = list(objects)
         # build (and seal) indexes up front so worker threads never race
-        # on the lazy build path
+        # on the lazy build path; build cost is not attributed to the
+        # campaign scope
         system.indexer.build()
 
-        verifier_hits_before = system.verifier.cache_hits
-        payload_hits_before = system.indexer.payload_cache_hits
-        analyze_hits_before = analyze_cache_info().hits
-        batch_start = time.perf_counter()
-
-        # provenance records are allocated serially in input order so
-        # record ids are deterministic regardless of worker scheduling;
-        # a broken query_text() must not abort allocation — the boundary
-        # in run_one reports it per object
-        records = [
-            system.provenance.new_record(obj.object_id, safe_query_text(obj))
-            for obj in object_list
-        ]
-
-        retrieval_cache: Dict[tuple, _Stages] = {}
-        cache_lock = threading.Lock()
-        tallies = {
-            "dedup_hits": 0, "retries": 0, "failed": 0,
-            "retrieve_s": 0.0, "verify_s": 0.0,
-        }
-        tally_lock = threading.Lock()
+        scope = registry.scope()
+        tracer: Optional[Tracer] = None
+        root_span: Optional[Span] = None
+        if trace:
+            tracer = Tracer(system.next_trace_id(), clock=clock)
+            # deliberately no worker-count attribute: serial and
+            # parallel runs of one campaign must export the same bytes
+            root_span = tracer.root(
+                "verify_batch", attributes={"objects": len(object_list)}
+            )
 
         def modalities_for(obj: DataObject) -> Tuple[Modality, ...]:
             if modalities is not None:
                 return tuple(modalities)
             return DEFAULT_MODALITIES.get(type(obj), (Modality.TABLE,))
 
-        def attempt_one(position: int) -> VerificationReport:
-            """One guarded attempt; only mutates the provenance record
-            after the full chain succeeded, so retries never duplicate
-            stages or outcomes."""
-            obj = object_list[position]
-            record = records[position]
-            retrieve_start = time.perf_counter()
-            stage_log: _Stages = []
-            evidence: List[DataInstance] = []
-            dedup_hits = 0
-            for modality in modalities_for(obj):
-                key = (
-                    type(obj).__name__, obj.query_text(), modality,
-                    k_coarse, k_fine,
+        with registry.activate(scope):
+            batch_start = clock.now()
+
+            # provenance records are allocated serially in input order so
+            # record ids are deterministic regardless of worker
+            # scheduling; a broken query_text() must not abort allocation
+            # — the boundary in run_one reports it per object
+            records = [
+                system.provenance.new_record(
+                    obj.object_id, safe_query_text(obj)
                 )
-                with cache_lock:
-                    stages = retrieval_cache.get(key)
-                if stages is None:
-                    stages = system.retrieval_stages(
-                        obj, modality, k_coarse, k_fine
-                    )
-                    # a concurrent miss recomputes the same deterministic
-                    # stages; first writer wins, results are equal
-                    with cache_lock:
-                        stages = retrieval_cache.setdefault(key, stages)
-                else:
-                    dedup_hits += 1
-                stage_log.extend(stages)
-                evidence.extend(system.resolve(stages[-1][1]))
-            verify_start = time.perf_counter()
-            outcomes, final, margin = system.verifier.verify_pool(obj, evidence)
-            verify_end = time.perf_counter()
-            for stage_name, hits in stage_log:
-                record.add_stage(stage_name, hits)
-            record.record_outcomes(outcomes)
-            record.finalize(final, margin)
-            with tally_lock:
-                tallies["dedup_hits"] += dedup_hits
-                tallies["retrieve_s"] += verify_start - retrieve_start
-                tallies["verify_s"] += verify_end - verify_start
-            return VerificationReport(
-                object_id=obj.object_id,
-                final_verdict=final,
-                margin=margin,
-                outcomes=outcomes,
-                evidence_ids=[o.evidence_id for o in outcomes],
-                record_id=record.record_id,
-            )
+                for obj in object_list
+            ]
+            if tracer is not None:
+                for record in records:
+                    record.trace_id = tracer.trace_id
 
-        def run_one(position: int) -> VerificationReport:
-            """The per-object error boundary around ``attempt_one``."""
-            attempts = self.max_retries + 1
-            for attempt in range(attempts):
+            # the dedup plan: which position first issues each retrieval
+            # key.  Computed from the inputs alone, so dedup counters and
+            # span attributes never depend on worker interleaving.
+            def plan_query(obj: DataObject) -> Optional[str]:
+                """``query_text()``, or ``None`` for an object too broken
+                to plan — its fault is reported by the error boundary in
+                ``run_one``; here it just contributes nothing to dedup."""
                 try:
-                    return attempt_one(position)
-                except Exception as exc:
-                    if attempt + 1 < attempts:
-                        with tally_lock:
-                            tallies["retries"] += 1
-                        continue
-                    obj = object_list[position]
-                    record = records[position]
-                    error = format_error(exc)
-                    record.mark_failed(error)
-                    with tally_lock:
-                        tallies["failed"] += 1
-                    if self.fail_fast:
-                        raise
-                    return VerificationReport(
-                        object_id=obj.object_id,
-                        final_verdict=Verdict.NOT_RELATED,
-                        margin=0.0,
-                        record_id=record.record_id,
-                        status=STATUS_FAILED,
-                        error=error,
+                    return obj.query_text()
+                except Exception:
+                    return None
+
+            plan_first: Dict[tuple, int] = {}
+            planned_refs = 0
+            for position, obj in enumerate(object_list):
+                query = plan_query(obj)
+                if query is None:
+                    continue
+                for modality in modalities_for(obj):
+                    key = (
+                        type(obj).__name__, query, modality,
+                        k_coarse, k_fine,
                     )
-            raise AssertionError("unreachable: attempts >= 1")  # pragma: no cover
+                    planned_refs += 1
+                    plan_first.setdefault(key, position)
+            plan_dedup_hits = planned_refs - len(plan_first)
 
-        if self.max_workers == 1 or len(object_list) <= 1:
-            reports = [run_one(i) for i in range(len(object_list))]
-        else:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                reports = list(pool.map(run_one, range(len(object_list))))
+            retrieval_cache: Dict[tuple, _Stages] = {}
+            cache_lock = threading.Lock()
 
-        # generation-log linking is append-order-sensitive; do it once,
-        # serially, in input order
-        for obj, report in zip(object_list, reports):
-            system.generation_log.link_verification(
-                obj.object_id, report.record_id
+            def replay_stage_spans(
+                branch, parent, stages: _Stages,
+                modality: Modality, deduped: bool,
+            ) -> None:
+                """Emit one span per retrieval stage.  Spans are always
+                replayed from the stage list (whether this object
+                executed the retrieval or took it from the dedup cache),
+                so the trace shape never depends on execution order."""
+                fine = (
+                    k_fine if k_fine is not None
+                    else system.config.fine_k(modality)
+                )
+                coarse_depth = (
+                    k_coarse if k_coarse is not None
+                    else system.config.k_coarse
+                )
+                for stage_name, hits in stages:
+                    if stage_name.startswith("coarse:"):
+                        span_name = f"retrieve:{stage_name}"
+                        # a lone coarse stage retrieves at fine depth
+                        depth = coarse_depth if len(stages) > 1 else fine
+                    else:
+                        span_name = stage_name
+                        depth = fine
+                    with branch.span(
+                        span_name,
+                        parent=parent,
+                        attributes={
+                            "modality": modality.value,
+                            "k": depth,
+                            "hits": len(hits),
+                            "dedup": deduped,
+                        },
+                    ):
+                        pass
+
+            def attempt_one(
+                position: int, final_attempt: bool
+            ) -> VerificationReport:
+                """One guarded attempt; only mutates the provenance
+                record after the full chain succeeded, so retries never
+                duplicate stages or outcomes.  Spans follow the same
+                rule: committed on success or on the final failure,
+                discarded on a retried attempt."""
+                obj = object_list[position]
+                record = records[position]
+                branch = (
+                    tracer.branch() if tracer is not None else NULL_BRANCH
+                )
+                try:
+                    with branch.span(
+                        "verify",
+                        parent=root_span,
+                        index=position,
+                        attributes={"object_id": obj.object_id},
+                        record_id=record.record_id,
+                    ) as obj_span:
+                        retrieve_start = clock.now()
+                        stage_log: _Stages = []
+                        evidence: List[DataInstance] = []
+                        for modality in modalities_for(obj):
+                            key = (
+                                type(obj).__name__, obj.query_text(),
+                                modality, k_coarse, k_fine,
+                            )
+                            with cache_lock:
+                                stages = retrieval_cache.get(key)
+                            if stages is None:
+                                stages = system.retrieval_stages(
+                                    obj, modality, k_coarse, k_fine
+                                )
+                                # a concurrent miss recomputes the same
+                                # deterministic stages; first writer
+                                # wins, results are equal
+                                with cache_lock:
+                                    stages = retrieval_cache.setdefault(
+                                        key, stages
+                                    )
+                            deduped = (
+                                plan_first.get(key, position) != position
+                            )
+                            replay_stage_spans(
+                                branch, obj_span, stages, modality, deduped
+                            )
+                            stage_log.extend(stages)
+                            evidence.extend(system.resolve(stages[-1][1]))
+                        verify_start = clock.now()
+                        with branch.span(
+                            "verify_pool",
+                            parent=obj_span,
+                            attributes={"evidence": len(evidence)},
+                        ) as pool_span:
+                            outcomes, final, margin = (
+                                system.verifier.verify_pool(
+                                    obj, evidence,
+                                    branch=branch, parent=pool_span,
+                                )
+                            )
+                            pool_span.set("verdict", final.name)
+                        obj_span.set("verdict", final.name)
+                        verify_end = clock.now()
+                except Exception:
+                    # the failed attempt's spans (each marked FAILED on
+                    # unwind) are the record of what happened — but only
+                    # if no retry will produce a cleaner story
+                    if final_attempt:
+                        branch.commit()
+                    else:
+                        branch.discard()
+                    raise
+                branch.commit()
+                for stage_name, hits in stage_log:
+                    record.add_stage(stage_name, hits)
+                record.record_outcomes(outcomes)
+                record.finalize(final, margin)
+                registry.histogram("pipeline.retrieve_seconds").observe(
+                    verify_start - retrieve_start
+                )
+                registry.histogram("pipeline.verify_seconds").observe(
+                    verify_end - verify_start
+                )
+                return VerificationReport(
+                    object_id=obj.object_id,
+                    final_verdict=final,
+                    margin=margin,
+                    outcomes=outcomes,
+                    evidence_ids=[o.evidence_id for o in outcomes],
+                    record_id=record.record_id,
+                )
+
+            def run_one(position: int) -> VerificationReport:
+                """The per-object error boundary around ``attempt_one``.
+
+                Re-activates the campaign scope so worker-thread cache
+                traffic attributes to this campaign (a no-op on the main
+                thread, where the scope is already active)."""
+                with registry.activate(scope):
+                    attempts = self.max_retries + 1
+                    for attempt in range(attempts):
+                        final_attempt = attempt + 1 == attempts
+                        try:
+                            return attempt_one(position, final_attempt)
+                        except Exception as exc:
+                            if not final_attempt:
+                                registry.counter("batch.retries").inc()
+                                continue
+                            obj = object_list[position]
+                            record = records[position]
+                            error = format_error(exc)
+                            record.mark_failed(error)
+                            registry.counter("batch.failed").inc()
+                            if self.fail_fast:
+                                raise
+                            return VerificationReport(
+                                object_id=obj.object_id,
+                                final_verdict=Verdict.NOT_RELATED,
+                                margin=0.0,
+                                record_id=record.record_id,
+                                status=STATUS_FAILED,
+                                error=error,
+                            )
+                raise AssertionError(
+                    "unreachable: attempts >= 1"
+                )  # pragma: no cover
+
+            if self.max_workers == 1 or len(object_list) <= 1:
+                reports = [run_one(i) for i in range(len(object_list))]
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=self.max_workers
+                ) as pool:
+                    reports = list(
+                        pool.map(run_one, range(len(object_list)))
+                    )
+
+            # generation-log linking is append-order-sensitive; do it
+            # once, serially, in input order
+            for obj, report in zip(object_list, reports):
+                system.generation_log.link_verification(
+                    obj.object_id, report.record_id
+                )
+
+            stats = BatchStats.from_scope(
+                scope,
+                objects=len(object_list),
+                max_workers=self.max_workers,
+                unique_retrievals=len(plan_first),
+                retrieval_cache_hits=plan_dedup_hits,
+                verifier_cache_entries=len(system.verifier),
+                verifier_cache_size=system.verifier.cache_size,
+                stage_seconds={
+                    "retrieve": scope.value("pipeline.retrieve_seconds.sum"),
+                    "verify": scope.value("pipeline.verify_seconds.sum"),
+                    "total": clock.now() - batch_start,
+                },
             )
 
-        stats = BatchStats(
-            objects=len(object_list),
-            max_workers=self.max_workers,
-            failed=tallies["failed"],
-            retries=tallies["retries"],
-            unique_retrievals=len(retrieval_cache),
-            retrieval_cache_hits=tallies["dedup_hits"],
-            verifier_cache_hits=system.verifier.cache_hits - verifier_hits_before,
-            verifier_cache_entries=len(system.verifier),
-            verifier_cache_size=system.verifier.cache_size,
-            payload_cache_hits=(
-                system.indexer.payload_cache_hits - payload_hits_before
-            ),
-            analyze_cache_hits=analyze_cache_info().hits - analyze_hits_before,
-            stage_seconds={
-                "retrieve": tallies["retrieve_s"],
-                "verify": tallies["verify_s"],
-                "total": time.perf_counter() - batch_start,
-            },
+        campaign_trace = None
+        if tracer is not None:
+            tracer.close(root_span)
+            campaign_trace = tracer.trace()
+        return BatchReport(
+            reports=reports, stats=stats, trace=campaign_trace
         )
-        return BatchReport(reports=reports, stats=stats)

@@ -31,6 +31,7 @@ from repro.index.combiner import Combiner, FusionMethod
 from repro.index.inverted import InvertedIndex
 from repro.index.vector import FlatVectorIndex
 from repro.core.config import VerifAIConfig
+from repro.obs.metrics import get_registry
 
 _INDEXED_MODALITIES = (
     Modality.TUPLE,
@@ -78,6 +79,7 @@ class IndexerModule:
         self._payload_lock = threading.Lock()
         self.payload_cache_hits = 0
         self.payload_cache_misses = 0
+        self._metrics = get_registry()
 
     @property
     def is_built(self) -> bool:
@@ -185,6 +187,7 @@ class IndexerModule:
         """Coarse top-k for one modality (content + semantic fused)."""
         if not self._built:
             self.build()
+        self._metrics.counter(f"indexer.search.{modality.value}").inc()
         depth = k if k is not None else self.config.k_coarse
         if modality is Modality.TEXT and self.config.chunk_text:
             raw = self._combiners[modality].search(query, depth * 3)
@@ -218,7 +221,9 @@ class IndexerModule:
             if payload is not None:
                 self.payload_cache_hits += 1
                 self._payload_cache.move_to_end(instance_id)
-                return payload
+        if payload is not None:
+            self._metrics.counter("indexer.payload_cache.hits").inc()
+            return payload
         payload = serialize_instance(self.lake.instance(instance_id))
         with self._payload_lock:
             self.payload_cache_misses += 1
@@ -226,4 +231,7 @@ class IndexerModule:
             self._payload_cache.move_to_end(instance_id)
             while len(self._payload_cache) > self.config.payload_cache_size:
                 self._payload_cache.popitem(last=False)
+            entries = len(self._payload_cache)
+        self._metrics.counter("indexer.payload_cache.misses").inc()
+        self._metrics.gauge("indexer.payload_cache.entries").set(entries)
         return payload

@@ -8,6 +8,7 @@ for replay/debugging.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -19,6 +20,9 @@ from repro.datalake.lake import DataLake
 from repro.datalake.types import DataInstance, Modality
 from repro.index.base import SearchHit
 from repro.llm.model import SimulatedLLM
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.metrics import get_registry
+from repro.obs.trace import NULL_BRANCH, Trace, Tracer
 from repro.provenance.generation import GenerationLog
 from repro.provenance.store import ProvenanceStore
 from repro.verify.agent import VerifierAgent
@@ -78,6 +82,9 @@ class VerificationReport:
     record_id: str = ""
     status: str = STATUS_OK
     error: str = ""
+    #: span tree of the run when ``verify(..., trace=True)`` was asked
+    #: for (a :class:`repro.obs.trace.Trace`), else ``None``
+    trace: Optional[Trace] = None
 
     @property
     def ok(self) -> bool:
@@ -114,9 +121,16 @@ class VerifAI:
         config: Optional[VerifAIConfig] = None,
         local_verifiers: Sequence[Verifier] = (),
         source_trust: Optional[Dict[str, float]] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.lake = lake
         self.config = config or VerifAIConfig()
+        # the one time source for spans and stage timings; tests inject a
+        # TickClock so exported traces are byte-stable
+        self.clock: Clock = clock or MonotonicClock()
+        self.metrics = get_registry()
+        self._trace_counter = 0
+        self._trace_lock = threading.Lock()
         # the verifier LLM needs no parametric knowledge: it reasons over
         # the evidence in the prompt
         self.llm = llm or SimulatedLLM(knowledge=None)
@@ -142,31 +156,65 @@ class VerifAI:
         self.indexer.build()
         return self
 
+    def next_trace_id(self) -> str:
+        """Sequential trace id — deterministic, unlike uuid4, so traced
+        runs replay byte-identically."""
+        with self._trace_lock:
+            self._trace_counter += 1
+            count = self._trace_counter
+        return f"trace-{count:06d}"
+
     def retrieval_stages(
         self,
         obj: DataObject,
         modality: Modality,
         k_coarse: Optional[int] = None,
         k_fine: Optional[int] = None,
+        branch=None,
+        parent=None,
     ) -> List[Tuple[str, List[SearchHit]]]:
         """Coarse retrieval + optional reranking, as named provenance
         stages.  The last stage's hits are the evidence shortlist.
 
         Results depend only on the object's query text, type, and the
         depths — which is what lets the batch engine dedupe identical
-        retrievals across objects."""
+        retrievals across objects.  A tracing ``branch`` (plus ``parent``
+        span) emits one span per stage."""
+        if branch is None:
+            branch = NULL_BRANCH
         query = obj.query_text()
         fine = k_fine if k_fine is not None else self.config.fine_k(modality)
         if self.config.use_reranker:
-            coarse = self.indexer.search(query, modality, k_coarse)
-            shortlist = self.reranker.rerank(
-                obj, modality, coarse, self.indexer.fetch_payload, fine
+            coarse_k = (
+                k_coarse if k_coarse is not None else self.config.k_coarse
             )
+            with branch.span(
+                f"retrieve:coarse:{modality.value}",
+                parent=parent,
+                attributes={"modality": modality.value, "k": coarse_k},
+            ) as span:
+                coarse = self.indexer.search(query, modality, k_coarse)
+                span.set("hits", len(coarse))
+            with branch.span(
+                f"rerank:{modality.value}",
+                parent=parent,
+                attributes={"modality": modality.value, "k": fine},
+            ) as span:
+                shortlist = self.reranker.rerank(
+                    obj, modality, coarse, self.indexer.fetch_payload, fine
+                )
+                span.set("hits", len(shortlist))
             return [
                 (f"coarse:{modality.value}", coarse),
                 (f"rerank:{modality.value}", shortlist),
             ]
-        hits = self.indexer.search(query, modality, fine)
+        with branch.span(
+            f"retrieve:coarse:{modality.value}",
+            parent=parent,
+            attributes={"modality": modality.value, "k": fine},
+        ) as span:
+            hits = self.indexer.search(query, modality, fine)
+            span.set("hits", len(hits))
         return [(f"coarse:{modality.value}", hits)]
 
     def retrieve(
@@ -198,6 +246,7 @@ class VerifAI:
         k_coarse: Optional[int] = None,
         k_fine: Optional[int] = None,
         fail_fast: bool = False,
+        trace: bool = False,
     ) -> VerificationReport:
         """Discover evidence for ``obj`` across modalities and verify it.
 
@@ -207,25 +256,61 @@ class VerifAI:
         report instead of raising.  ``fail_fast=True`` restores
         raise-on-error (the record is still finalized first, so no
         dangling lineage either way).
+
+        ``trace=True`` records a span tree of the run (root ``verify``
+        span, one span per retrieval stage, a ``verify_pool`` span with
+        per-evidence ``verdict`` children) on ``report.trace``, and
+        cross-links it with the provenance record: the root span carries
+        ``record_id`` and the record carries the trace id.
         """
         if modalities is None:
             modalities = DEFAULT_MODALITIES.get(type(obj), (Modality.TABLE,))
         record = self.provenance.new_record(
             obj.object_id, safe_query_text(obj)
         )
+        tracer: Optional[Tracer] = None
+        branch = NULL_BRANCH
+        if trace:
+            tracer = Tracer(self.next_trace_id(), clock=self.clock)
+            record.trace_id = tracer.trace_id
+            branch = tracer.branch()
+        self.metrics.counter("pipeline.verify_calls").inc()
+        start = self.clock.now()
         try:
-            evidence: List[DataInstance] = []
-            for modality in modalities:
-                hits = self.retrieve(
-                    obj, modality, k_coarse, k_fine, record=record
-                )
-                evidence.extend(self.resolve(hits))
-            outcomes, final, margin = self.verifier.verify_pool(obj, evidence)
+            with branch.span(
+                "verify",
+                attributes={"object_id": obj.object_id},
+                record_id=record.record_id,
+            ) as root:
+                evidence: List[DataInstance] = []
+                for modality in modalities:
+                    stages = self.retrieval_stages(
+                        obj, modality, k_coarse, k_fine,
+                        branch=branch, parent=root,
+                    )
+                    for stage_name, hits in stages:
+                        record.add_stage(stage_name, hits)
+                    evidence.extend(self.resolve(stages[-1][1]))
+                retrieve_end = self.clock.now()
+                with branch.span(
+                    "verify_pool",
+                    parent=root,
+                    attributes={"evidence": len(evidence)},
+                ) as pool_span:
+                    outcomes, final, margin = self.verifier.verify_pool(
+                        obj, evidence, branch=branch, parent=pool_span
+                    )
+                    pool_span.set("verdict", final.name)
+                root.set("verdict", final.name)
         except Exception as exc:
+            # serial verify never retries, so the failed attempt's spans
+            # are the trace: commit them (each marked FAILED on unwind)
+            branch.commit()
             record.mark_failed(format_error(exc))
             self.generation_log.link_verification(
                 obj.object_id, record.record_id
             )
+            self.metrics.counter("pipeline.verify_failed").inc()
             if fail_fast:
                 raise
             return VerificationReport(
@@ -235,7 +320,16 @@ class VerifAI:
                 record_id=record.record_id,
                 status=STATUS_FAILED,
                 error=record.error,
+                trace=tracer.trace() if tracer is not None else None,
             )
+        branch.commit()
+        verify_end = self.clock.now()
+        self.metrics.histogram("pipeline.retrieve_seconds").observe(
+            retrieve_end - start
+        )
+        self.metrics.histogram("pipeline.verify_seconds").observe(
+            verify_end - retrieve_end
+        )
         record.record_outcomes(outcomes)
         record.finalize(final, margin)
         self.generation_log.link_verification(obj.object_id, record.record_id)
@@ -246,6 +340,7 @@ class VerifAI:
             outcomes=outcomes,
             evidence_ids=[o.evidence_id for o in outcomes],
             record_id=record.record_id,
+            trace=tracer.trace() if tracer is not None else None,
         )
 
     def verify_batch(
@@ -257,6 +352,7 @@ class VerifAI:
         k_fine: Optional[int] = None,
         fail_fast: bool = False,
         max_retries: Optional[int] = None,
+        trace: bool = False,
     ) -> "BatchReport":
         """Verify many objects and summarize the campaign.
 
@@ -270,7 +366,9 @@ class VerifAI:
         aborting the campaign; ``fail_fast=True`` restores
         raise-on-first-error.  The returned :class:`BatchReport` carries
         stage timings, cache-hit, failure, and retry counters in
-        ``stats``.
+        ``stats``; ``trace=True`` additionally attaches a campaign-wide
+        span tree (``report.trace``) whose export is byte-identical for
+        serial and parallel runs under a deterministic clock.
         """
         from repro.core.batch import BatchEngine
 
@@ -283,7 +381,8 @@ class VerifAI:
             fail_fast=fail_fast, max_retries=max_retries,
         )
         return engine.run(
-            objects, modalities=modalities, k_coarse=k_coarse, k_fine=k_fine
+            objects, modalities=modalities, k_coarse=k_coarse,
+            k_fine=k_fine, trace=trace,
         )
 
     def add_instance(self, instance) -> None:
@@ -307,6 +406,9 @@ class BatchReport:
 
     reports: List[VerificationReport]
     stats: Optional["object"] = None
+    #: campaign span tree when ``verify_batch(..., trace=True)`` was
+    #: asked for (a :class:`repro.obs.trace.Trace`), else ``None``
+    trace: Optional[Trace] = None
 
     def __len__(self) -> int:
         return len(self.reports)
@@ -350,6 +452,10 @@ class BatchReport:
         if self.failed:
             line += f" ({self.failed} FAILED)"
         if self.stats is not None:
+            line += (
+                f"; {self.stats.failed} failed, "
+                f"{self.stats.retries} retries"
+            )
             line += (
                 f"; verifier cache: {self.stats.verifier_cache_hits} hits, "
                 f"{self.stats.verifier_cache_entries}/"

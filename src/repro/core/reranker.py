@@ -12,6 +12,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.datalake.types import Modality
 from repro.index.base import SearchHit
+from repro.obs.metrics import get_registry
 from repro.rerank.base import Reranker
 from repro.rerank.colbert import LateInteractionReranker
 from repro.rerank.features import FeatureReranker
@@ -57,4 +58,10 @@ class RerankerModule:
     ) -> List[SearchHit]:
         """Re-score coarse candidates down to the fine shortlist."""
         reranker = self.route(obj, modality)
+        metrics = get_registry()
+        metrics.counter("reranker.calls").inc()
+        metrics.histogram(
+            "reranker.candidates",
+            buckets=(1, 2, 5, 10, 20, 50, 100, 200, 500),
+        ).observe(len(candidates))
         return reranker.rerank(obj.query_text(), candidates, fetch, k)

@@ -14,6 +14,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.datalake.lake import DataLake
 from repro.datalake.types import DataInstance, Row
+from repro.obs.metrics import get_registry
+from repro.obs.trace import NULL_BRANCH
 from repro.trust.model import weighted_vote
 from repro.verify.agent import VerifierAgent
 from repro.verify.base import VerificationOutcome
@@ -63,6 +65,7 @@ class VerifierModule:
         self._cache_lock = threading.Lock()
         self.cache_size = cache_size
         self.cache_hits = 0
+        self._metrics = get_registry()
 
     def __len__(self) -> int:
         """Number of memoized (object, evidence) outcomes."""
@@ -73,15 +76,26 @@ class VerifierModule:
         self, obj: DataObject, evidence: DataInstance
     ) -> VerificationOutcome:
         """Verify a single pair through the Agent, with caching."""
+        outcome, _ = self._verify_one(obj, evidence)
+        return outcome
+
+    def _verify_one(
+        self, obj: DataObject, evidence: DataInstance
+    ) -> Tuple[VerificationOutcome, bool]:
+        """(outcome, served-from-cache) for one pair."""
+        self._metrics.counter("verifier.verifications").inc()
         if self._cache is None:
-            return self.agent.verify(obj, evidence)
+            return self.agent.verify(obj, evidence), False
         key = _pair_key(obj, evidence)
         with self._cache_lock:
             cached = self._cache.get(key)
             if cached is not None:
                 self.cache_hits += 1
                 self._cache.move_to_end(key)
-                return cached
+        if cached is not None:
+            self._metrics.counter("verifier.cache.hits").inc()
+            return cached, True
+        self._metrics.counter("verifier.cache.misses").inc()
         # verify outside the lock; a concurrent duplicate recomputes the
         # same deterministic outcome, which is cheaper than serializing
         # every verification behind one mutex
@@ -91,7 +105,9 @@ class VerifierModule:
             self._cache.move_to_end(key)
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
-        return outcome
+            entries = len(self._cache)
+        self._metrics.gauge("verifier.cache.entries").set(entries)
+        return outcome, False
 
     def source_of(self, evidence: DataInstance) -> str:
         """Lake source name of an evidence instance."""
@@ -103,13 +119,35 @@ class VerifierModule:
         return source.name
 
     def verify_pool(
-        self, obj: DataObject, evidence_list: Sequence[DataInstance]
+        self,
+        obj: DataObject,
+        evidence_list: Sequence[DataInstance],
+        branch=None,
+        parent=None,
     ) -> Tuple[List[VerificationOutcome], Verdict, float]:
         """Verify against every instance and pool into a final verdict.
 
         Returns (per-evidence outcomes, final verdict, vote margin).
+        When a tracing ``branch`` (and ``parent`` span) is supplied, one
+        ``verdict`` span is emitted per evidence instance.  Span
+        attributes stay deterministic per input — whether a pair was
+        served from the outcome cache is a runtime race under thread
+        parallelism, so that lives in the ``verifier.cache.*`` metrics,
+        not on the span.
         """
-        outcomes = [self.verify_one(obj, evidence) for evidence in evidence_list]
+        if branch is None:
+            branch = NULL_BRANCH
+        outcomes: List[VerificationOutcome] = []
+        for evidence in evidence_list:
+            with branch.span(
+                "verdict",
+                parent=parent,
+                attributes={"evidence_id": evidence.instance_id},
+            ) as span:
+                outcome = self.verify_one(obj, evidence)
+                span.set("verifier", outcome.verifier)
+                span.set("verdict", outcome.verdict.name)
+            outcomes.append(outcome)
         votes = [
             (self.source_of(evidence), outcome.verdict)
             for evidence, outcome in zip(evidence_list, outcomes)

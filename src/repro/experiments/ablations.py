@@ -15,9 +15,8 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import VerifAIConfig
 from repro.core.pipeline import VerifAI
@@ -33,6 +32,7 @@ from repro.index.inverted import InvertedIndex
 from repro.index.ivf import IVFFlatIndex
 from repro.index.vector import FlatVectorIndex
 from repro.metrics.evaluation import macro_recall_at_k
+from repro.obs.clock import Clock, MonotonicClock
 from repro.rerank.colbert import LateInteractionReranker
 from repro.rerank.table import TableReranker
 from repro.trust.model import Observation, TrustModel, weighted_vote
@@ -196,8 +196,14 @@ def run_vector_index_ablation(
     context: ExperimentContext,
     dim: int = 128,
     num_queries: int = 50,
+    clock: Optional[Clock] = None,
 ) -> List[VectorIndexResult]:
-    """Flat vs IVF vs HNSW over the text-page embeddings."""
+    """Flat vs IVF vs HNSW over the text-page embeddings.
+
+    ``clock`` is the timing source (injectable so tests can freeze it;
+    defaults to the monotonic process clock).
+    """
+    clock = clock or MonotonicClock()
     vectorizer = HashingVectorizer(dim=dim)
     docs = context.bundle.lake.documents()
     payloads = [(d.doc_id, serialize_instance(d)) for d in docs]
@@ -217,18 +223,18 @@ def run_vector_index_ablation(
     results: List[VectorIndexResult] = []
     exact_top: List[set] = []
     for name, index in indexes.items():
-        start = time.perf_counter()
+        start = clock.now()
         for doc_id, payload in payloads:
             index.add_vector(doc_id, vectorizer.transform(payload))
         if isinstance(index, IVFFlatIndex):
             index.train()
-        build_seconds = time.perf_counter() - start
-        start = time.perf_counter()
+        build_seconds = clock.now() - start
+        start = clock.now()
         retrieved = [
             {h.instance_id for h in index.search_vector(v, 10)}
             for v in query_vectors
         ]
-        search_seconds = time.perf_counter() - start
+        search_seconds = clock.now() - start
         if name == "flat":
             exact_top = retrieved
             recall = 1.0

@@ -1,0 +1,77 @@
+"""Pipeline observability: clocks, spans, metrics, and trace export.
+
+The instrumentation backbone for the C4 provenance story: the
+provenance store answers *what evidence was used*; this package answers
+*what the pipeline did and what it cost*.  Three pieces:
+
+* :mod:`repro.obs.clock` — the injectable time source (monotonic in
+  production, a frozen ``TickClock`` in tests);
+* :mod:`repro.obs.trace` — span trees with deterministic ids, linked to
+  provenance records in both directions;
+* :mod:`repro.obs.metrics` — the process-wide registry of counters,
+  gauges, and histograms, with per-campaign scopes.
+
+Export lives in :mod:`repro.obs.export` (stable JSON) and
+:mod:`repro.obs.render` (human-readable tree); the full model is
+documented in docs/observability.md.
+"""
+
+from repro.obs.clock import Clock, MonotonicClock, TickClock
+from repro.obs.export import (
+    TRACE_FORMAT_VERSION,
+    load_trace,
+    render_trace_json,
+    trace_to_dict,
+    validate_trace,
+    write_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Scope,
+    get_registry,
+)
+from repro.obs.render import render_tree
+from repro.obs.trace import (
+    NULL_BRANCH,
+    NULL_SPAN,
+    SPAN_FAILED,
+    SPAN_OK,
+    Span,
+    SpanBranch,
+    Trace,
+    Tracer,
+    span_id_for,
+)
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "NULL_BRANCH",
+    "NULL_SPAN",
+    "SPAN_FAILED",
+    "SPAN_OK",
+    "Scope",
+    "Span",
+    "SpanBranch",
+    "TRACE_FORMAT_VERSION",
+    "TickClock",
+    "Trace",
+    "Tracer",
+    "get_registry",
+    "load_trace",
+    "render_trace_json",
+    "render_tree",
+    "span_id_for",
+    "trace_to_dict",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,108 @@
+"""Stable-JSON trace export and import.
+
+Mirrors the repro-lint reporters' split: this module is the
+machine-readable side (sorted keys, depth-first span order, versioned
+payload — two runs of the same campaign under a frozen ``TickClock``
+serialize byte-for-byte identically), :mod:`repro.obs.render` is the
+human-readable tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.obs.trace import Span, Trace
+
+#: bump when the payload shape changes
+TRACE_FORMAT_VERSION = 1
+
+#: keys every exported span carries
+_SPAN_KEYS = (
+    "span_id", "parent_id", "name", "index", "path",
+    "start", "end", "duration", "status", "error",
+    "record_id", "attributes",
+)
+
+
+def span_to_dict(span: Span) -> Dict[str, object]:
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "index": span.index,
+        "path": span.path,
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "status": span.status,
+        "error": span.error,
+        "record_id": span.record_id,
+        "attributes": dict(span.attributes),
+    }
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, object]:
+    """The versioned, export-shaped payload of one trace."""
+    return {
+        "version": TRACE_FORMAT_VERSION,
+        "trace_id": trace.trace_id,
+        "span_count": len(trace.spans),
+        "spans": [span_to_dict(span) for span in trace.spans],
+    }
+
+
+def render_trace_json(trace: Union[Trace, Dict[str, object]]) -> str:
+    """Stable JSON (sorted keys, indent 2) for diffing and archiving."""
+    payload = trace_to_dict(trace) if isinstance(trace, Trace) else trace
+    return json.dumps(payload, indent=2, sort_keys=True, ensure_ascii=False)
+
+
+def write_trace(trace: Union[Trace, Dict[str, object]], path) -> Path:
+    """Write the stable-JSON form of ``trace`` to ``path``; returns it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_trace_json(trace) + "\n", encoding="utf-8")
+    return target
+
+
+def validate_trace(payload: object) -> Dict[str, object]:
+    """Check an imported payload's shape; raise ``ValueError`` if bad."""
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    version = payload.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace version {version!r} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    if not isinstance(payload.get("trace_id"), str) or not payload["trace_id"]:
+        raise ValueError("trace payload is missing a trace_id")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("trace payload is missing its spans list")
+    if payload.get("span_count") != len(spans):
+        raise ValueError(
+            f"span_count {payload.get('span_count')!r} does not match "
+            f"{len(spans)} span(s)"
+        )
+    for position, span in enumerate(spans):
+        if not isinstance(span, dict):
+            raise ValueError(f"span #{position} is not an object")
+        missing: List[str] = [k for k in _SPAN_KEYS if k not in span]
+        if missing:
+            raise ValueError(
+                f"span #{position} is missing key(s): {', '.join(missing)}"
+            )
+    return payload
+
+
+def load_trace(path) -> Dict[str, object]:
+    """Read and validate a trace file written by :func:`write_trace`."""
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{source}: not valid JSON ({exc})") from exc
+    return validate_trace(payload)

@@ -1,0 +1,71 @@
+"""Human-readable trace rendering.
+
+The text half of the export split (see :mod:`repro.obs.export`): an
+indented tree, one line per span, with durations, statuses, provenance
+links, and sorted attributes.  Works from either a live :class:`Trace`
+or a payload dict loaded back from disk, so ``repro trace <file>``
+round-trips through the JSON form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.obs.export import trace_to_dict
+from repro.obs.trace import Trace
+
+
+def _format_attrs(attributes: Dict[str, object]) -> str:
+    return " ".join(
+        f"{key}={attributes[key]}" for key in sorted(attributes)
+    )
+
+
+def _span_line(span: Dict[str, object]) -> str:
+    parts: List[str] = [str(span["name"])]
+    parts.append(f"({float(span['duration']):.3f}s)")
+    if span.get("record_id"):
+        parts.append(f"[{span['record_id']}]")
+    if span.get("status") != "OK":
+        parts.append(f"!{span['status']}")
+    attributes = span.get("attributes") or {}
+    if attributes:
+        parts.append(_format_attrs(attributes))
+    line = " ".join(parts)
+    if span.get("error"):
+        line += f"  <- {span['error']}"
+    return line
+
+
+def render_tree(trace: Union[Trace, Dict[str, object]]) -> str:
+    """Indented span tree, one line per span, children in index order."""
+    payload = trace_to_dict(trace) if isinstance(trace, Trace) else trace
+    spans = list(payload.get("spans", ()))
+    children: Dict[str, List[Dict[str, object]]] = {}
+    roots: List[Dict[str, object]] = []
+    for span in spans:
+        parent_id = span.get("parent_id") or ""
+        if parent_id:
+            children.setdefault(parent_id, []).append(span)
+        else:
+            roots.append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (int(s.get("index", 0)), str(s["name"])))
+    roots.sort(key=lambda s: (int(s.get("index", 0)), str(s["name"])))
+
+    lines = [
+        f"trace {payload.get('trace_id', '?')} "
+        f"({len(spans)} span{'s' if len(spans) != 1 else ''})"
+    ]
+
+    def walk(span: Dict[str, object], prefix: str, is_last: bool) -> None:
+        connector = "`- " if is_last else "|- "
+        lines.append(f"{prefix}{connector}{_span_line(span)}")
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        kids = children.get(str(span.get("span_id", "")), [])
+        for position, child in enumerate(kids):
+            walk(child, child_prefix, position == len(kids) - 1)
+
+    for position, root in enumerate(roots):
+        walk(root, "", position == len(roots) - 1)
+    return "\n".join(lines)

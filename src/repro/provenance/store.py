@@ -45,6 +45,10 @@ class VerificationRecord:
     final_margin: float = 0.0
     status: str = RECORD_OPEN
     error: str = ""
+    #: id of the observability trace that covered this verification
+    #: ("" when the run was not traced); the trace's spans carry this
+    #: record's id back, so lineage and timing cross-link both ways
+    trace_id: str = ""
 
     def add_stage(self, stage: str, hits) -> None:
         """Record one retrieval/rerank stage."""
@@ -149,6 +153,8 @@ class ProvenanceStore:
             f"record {record.record_id} for object {record.object_id}",
             f"query: {record.query}",
         ]
+        if record.trace_id:
+            lines.append(f"trace: {record.trace_id}")
         for step in record.retrieval:
             rendered = ", ".join(f"{i}:{s:.3f}" for i, s in step.hits[:5])
             lines.append(f"  [{step.stage}] {rendered}")
@@ -205,6 +211,9 @@ class ProvenanceStore:
                 # completed runs
                 status=entry.get("status", RECORD_FINALIZED),
                 error=entry.get("error", ""),
+                # stores written before the observability layer carry no
+                # trace linkage
+                trace_id=entry.get("trace_id", ""),
             )
             store._records[record.record_id] = record
             store._by_object.setdefault(record.object_id, []).append(

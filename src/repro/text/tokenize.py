@@ -9,11 +9,13 @@ thousand separators, and signed values) as single tokens.
 from __future__ import annotations
 
 import re
+import threading
 import unicodedata
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Iterable, List
+from typing import Iterable, List, NamedTuple
 
+from repro.obs.metrics import get_registry
 from repro.text.stem import stem
 from repro.text.stopwords import is_stopword
 
@@ -75,8 +77,25 @@ def tokenize_with_spans(text: str) -> List[Token]:
     ]
 
 
-@lru_cache(maxsize=ANALYZE_CACHE_SIZE)
-def _analyze_cached(
+#: the shared analysis LRU.  Hand-rolled (OrderedDict + lock) rather
+#: than ``functools.lru_cache`` so each lookup can report its hit/miss
+#: into the metrics registry — which is what lets two interleaved
+#: verification campaigns attribute analysis-cache activity to
+#: themselves instead of reading cross-polluted process-wide deltas.
+_ANALYZE_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_ANALYZE_LOCK = threading.Lock()
+
+
+class CacheInfo(NamedTuple):
+    """``functools``-shaped statistics of the shared analysis cache."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+def _analyze_uncached(
     text: str, remove_stopwords: bool, stemming: bool
 ) -> tuple:
     out: List[str] = []
@@ -103,19 +122,48 @@ def analyze(
     Results are memoized in a process-wide LRU keyed on the text and the
     analyzer options, so index build, search, and the rerankers share one
     analysis of any given payload.  Callers receive a fresh list each
-    time (the cached tuple is never exposed for mutation).
+    time (the cached tuple is never exposed for mutation).  Every lookup
+    reports into the ``text.analyze_cache.hits`` / ``.misses`` metrics.
     """
-    return list(_analyze_cached(text, remove_stopwords, stemming))
+    key = (text, remove_stopwords, stemming)
+    with _ANALYZE_LOCK:
+        cached = _ANALYZE_CACHE.get(key)
+        if cached is not None:
+            _ANALYZE_CACHE.move_to_end(key)
+    if cached is not None:
+        get_registry().counter("text.analyze_cache.hits").inc()
+        return list(cached)
+    result = _analyze_uncached(text, remove_stopwords, stemming)
+    with _ANALYZE_LOCK:
+        _ANALYZE_CACHE[key] = result
+        _ANALYZE_CACHE.move_to_end(key)
+        while len(_ANALYZE_CACHE) > ANALYZE_CACHE_SIZE:
+            _ANALYZE_CACHE.popitem(last=False)
+    get_registry().counter("text.analyze_cache.misses").inc()
+    return list(result)
 
 
-def analyze_cache_info():
-    """Hit/miss statistics of the shared analysis cache."""
-    return _analyze_cached.cache_info()
+def analyze_cache_info() -> CacheInfo:
+    """Hit/miss statistics of the shared analysis cache.
+
+    Hits and misses read the process-lifetime metrics counters; clearing
+    the cache does not reset them (unlike ``functools.lru_cache``).
+    """
+    registry = get_registry()
+    with _ANALYZE_LOCK:
+        currsize = len(_ANALYZE_CACHE)
+    return CacheInfo(
+        hits=int(registry.counter("text.analyze_cache.hits").value),
+        misses=int(registry.counter("text.analyze_cache.misses").value),
+        maxsize=ANALYZE_CACHE_SIZE,
+        currsize=currsize,
+    )
 
 
 def analyze_cache_clear() -> None:
     """Drop every memoized analysis (mainly for tests and benchmarks)."""
-    _analyze_cached.cache_clear()
+    with _ANALYZE_LOCK:
+        _ANALYZE_CACHE.clear()
 
 
 _SENTENCE_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9\"'])")

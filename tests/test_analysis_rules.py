@@ -49,7 +49,9 @@ def test_registry_has_at_least_eight_rules_in_three_families():
     assert len(ids) == len(set(ids))
     assert len(rules) >= 8
     categories = {rule.category for rule in rules}
-    assert {"determinism", "concurrency", "contracts"} <= categories
+    assert {
+        "determinism", "concurrency", "contracts", "observability"
+    } <= categories
     for rule in rules:
         assert rule.name and rule.description and rule.node_types
 
@@ -431,3 +433,24 @@ def test_findings_are_sorted_and_carry_snippets():
     found = findings_for(source)
     assert [f.line for f in found] == sorted(f.line for f in found)
     assert found[0].snippet == "b = cache.popitem()"
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+def test_obs001_direct_clock_read_fires():
+    assert_fires("import time\nstart = time.perf_counter()\n", "OBS001")
+    assert_fires("import time\nstart = time.monotonic()\n", "OBS001")
+    assert_fires("import time\nns = time.perf_counter_ns()\n", "OBS001")
+
+
+def test_obs001_quiet_in_clock_module_and_benchmarks():
+    source = "import time\nstart = time.perf_counter()\n"
+    assert_quiet(source, "OBS001", path="src/repro/obs/clock.py")
+    assert_quiet(source, "OBS001", path="benchmarks/test_bench_lint.py")
+
+
+def test_obs001_quiet_on_injected_clock():
+    assert_quiet(
+        "def timed(clock):\n    return clock.now()\n", "OBS001"
+    )
+    assert_quiet("import time\ntime.sleep(0.1)\n", "OBS001")

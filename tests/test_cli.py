@@ -113,6 +113,53 @@ class TestVerifyBatch:
         assert serial.split(";")[0] == parallel.split(";")[0]
 
 
+class TestTrace:
+    def test_verify_batch_writes_trace_file(self, lake_path, tmp_path,
+                                            capsys):
+        out = tmp_path / "campaign.json"
+        code = main([
+            "verify-batch", "--lake", lake_path,
+            "--sample", "4", "--trace", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert "trace:" in capsys.readouterr().out
+
+    def test_trace_renders_tree(self, lake_path, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        assert main([
+            "verify-batch", "--lake", lake_path,
+            "--sample", "4", "--trace", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("trace trace-")
+        assert "verify_batch" in output
+        assert "verify_pool" in output
+
+    def test_trace_json_roundtrip(self, lake_path, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        assert main([
+            "verify-batch", "--lake", lake_path,
+            "--sample", "3", "--trace", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(out), "--json"]) == 0
+        emitted = capsys.readouterr().out
+        assert emitted.strip() == out.read_text(encoding="utf-8").strip()
+
+    def test_garbage_trace_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a trace"}', encoding="utf-8")
+        assert main(["trace", str(bad)]) == 2
+        assert "trace:" in capsys.readouterr().err
+
+    def test_missing_trace_file_exits_two(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.json")]) == 2
+        assert "trace:" in capsys.readouterr().err
+
+
 class TestVerifyBatchDegenerateLakes:
     @staticmethod
     def _save(tmp_path, tables, name):
