@@ -1,13 +1,14 @@
 # Convenience targets for the VerifAI reproduction.
 
-.PHONY: install check test test-faults test-obs trace-demo bench bench-batch bench-paper experiments examples lint lint-json
+.PHONY: install check test test-faults test-obs test-shard trace-demo bench bench-batch bench-shard bench-paper experiments examples lint lint-json
 
 install:
 	pip install -e . --no-build-isolation
 
 # the default CI gate: static analysis first, then the test suite
-# (which includes the observability smoke below)
-check: lint test-obs test
+# (which includes the observability smoke below) and the sharding/churn
+# differential suite with its slow soak
+check: lint test-obs test test-shard
 
 # tests/ includes tests/test_batch_faults.py, the fault-isolation suite
 # for verification campaigns (poisoned objects, retries, fail_fast, and
@@ -22,6 +23,13 @@ test-faults:
 # observability smoke: clocks, metrics scopes, and byte-stable traces
 test-obs:
 	PYTHONPATH=src pytest tests/test_obs_clock_metrics.py tests/test_obs_trace.py -q
+
+# the sharding equivalence + churn differential suite, INCLUDING the
+# slow soak that tier-1 skips ("slow or not slow" overrides the
+# default -m "not slow" addopts)
+test-shard:
+	PYTHONPATH=src pytest tests/test_index_sharding.py tests/test_index_churn.py \
+		-m "slow or not slow" -q
 
 # end-to-end trace demo: build a small lake, run a traced campaign,
 # render the span tree (artifacts land in /tmp)
@@ -45,6 +53,10 @@ bench:
 bench-batch:
 	pytest benchmarks/test_bench_batch.py --benchmark-only \
 		--benchmark-json=BENCH_batch.json
+
+bench-shard:
+	pytest benchmarks/test_bench_shard.py --benchmark-only \
+		--benchmark-json=BENCH_shard.json
 
 bench-paper:
 	REPRO_SCALE=paper pytest benchmarks/ --benchmark-only

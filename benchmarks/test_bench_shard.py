@@ -1,0 +1,132 @@
+"""Sharded-index benchmarks.
+
+Three comparisons the sharding PR cares about:
+
+* full index build: monolithic vs sharded-serial vs sharded-parallel
+  (the parallel build's headroom is bounded by the host's core count
+  and the GIL's treatment of this workload — the numbers recorded in
+  ``BENCH_shard.json`` are whatever the measurement machine honestly
+  produced, single-core hosts included);
+* scatter-gather search vs monolithic search at equal corpus size;
+* live mutation (update + re-search) against the rebuild alternative.
+
+``make bench-shard`` runs this file; the recorded baseline lives in
+``BENCH_shard.json``.
+"""
+
+import pytest
+
+from repro.core.config import VerifAIConfig
+from repro.core.indexer import IndexerModule
+from repro.datalake.types import Modality, TextDocument
+
+from benchmarks.conftest import run_once
+
+SHARDS = 4
+
+QUERIES = [
+    "largest cities by population",
+    "points per game shooting guard",
+    "gold silver bronze medal total",
+    "season player statistics games",
+]
+
+
+def build(context, **overrides):
+    config = VerifAIConfig(**overrides)
+    return IndexerModule(context.bundle.lake, config).build()
+
+
+# ----------------------------------------------------------------------
+# build: monolithic vs sharded serial vs sharded parallel
+# ----------------------------------------------------------------------
+class TestBuild:
+    def test_build_monolithic(self, benchmark, context):
+        indexer = run_once(benchmark, build, context)
+        assert indexer.is_built
+
+    def test_build_sharded_serial(self, benchmark, context):
+        indexer = run_once(
+            benchmark, build, context,
+            num_shards=SHARDS, shard_build_workers=1,
+        )
+        assert indexer.is_built
+
+    def test_build_sharded_parallel(self, benchmark, context):
+        indexer = run_once(
+            benchmark, build, context, num_shards=SHARDS,
+        )
+        assert indexer.is_built
+
+
+# ----------------------------------------------------------------------
+# search: scatter-gather vs monolithic
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def monolithic(context):
+    return build(context)
+
+
+@pytest.fixture(scope="module")
+def sharded(context):
+    return build(context, num_shards=SHARDS)
+
+
+def search_sweep(indexer, rounds=50):
+    total = 0
+    for _ in range(rounds):
+        for query in QUERIES:
+            for modality in (Modality.TUPLE, Modality.TABLE, Modality.TEXT):
+                total += len(indexer.search(query, modality, 10))
+    return total
+
+
+class TestSearch:
+    def test_search_monolithic(self, benchmark, monolithic):
+        assert run_once(benchmark, search_sweep, monolithic) > 0
+
+    def test_search_sharded(self, benchmark, sharded, monolithic):
+        hits = run_once(benchmark, search_sweep, sharded)
+        assert hits == search_sweep(monolithic, rounds=1) * 50
+
+
+# ----------------------------------------------------------------------
+# mutation: incremental update vs full rebuild
+# ----------------------------------------------------------------------
+def churn_incremental(context, indexer, rounds=20):
+    lake = context.bundle.lake
+    doc = lake.documents()[0]
+    for i in range(rounds):
+        new = TextDocument(
+            doc_id=doc.doc_id, title=doc.title,
+            text=f"{doc.text} bench revision {i}",
+            source=doc.source, entity=doc.entity,
+        )
+        old = lake.update_instance(new)
+        indexer.update_instance(old, new)
+        indexer.search(QUERIES[0], Modality.TEXT, 10)
+    restored = lake.update_instance(doc)  # put the original back
+    indexer.update_instance(restored, doc)
+
+
+def churn_rebuild(context, rounds=20):
+    lake = context.bundle.lake
+    doc = lake.documents()[0]
+    for i in range(rounds):
+        new = TextDocument(
+            doc_id=doc.doc_id, title=doc.title,
+            text=f"{doc.text} bench revision {i}",
+            source=doc.source, entity=doc.entity,
+        )
+        lake.update_instance(new)
+        rebuilt = IndexerModule(lake, VerifAIConfig()).build()
+        rebuilt.search(QUERIES[0], Modality.TEXT, 10)
+    lake.update_instance(doc)
+
+
+class TestMutation:
+    def test_update_incremental(self, benchmark, context, sharded):
+        run_once(benchmark, churn_incremental, context, sharded)
+
+    def test_update_via_rebuild(self, benchmark, context):
+        run_once(benchmark, churn_rebuild, context)

@@ -57,7 +57,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _system_for(args: argparse.Namespace) -> VerifAI:
     lake = load_lake(args.lake)
-    return VerifAI(lake, config=VerifAIConfig()).build_indexes()
+    config = VerifAIConfig(num_shards=getattr(args, "shards", 1))
+    return VerifAI(lake, config=config).build_indexes()
 
 
 def _cmd_verify_claim(args: argparse.Namespace) -> int:
@@ -225,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--text", required=True)
     p.add_argument("--context", default="")
     p.add_argument("--explain", action="store_true")
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="index shard count (1 = monolithic; results are identical)",
+    )
     p.set_defaults(func=_cmd_verify_claim)
 
     p = sub.add_parser("verify-tuple", help="verify one imputed cell")
@@ -234,6 +239,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--column", required=True)
     p.add_argument("--value", required=True)
     p.add_argument("--explain", action="store_true")
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="index shard count (1 = monolithic; results are identical)",
+    )
     p.set_defaults(func=_cmd_verify_tuple)
 
     p = sub.add_parser(
@@ -256,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="record a span trace of the campaign and write it to PATH "
              "(stable JSON; inspect with `repro trace PATH`)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="index shard count (1 = monolithic; results are identical)",
     )
     p.set_defaults(func=_cmd_verify_batch)
 

@@ -192,10 +192,6 @@ class BatchEngine:
         clock = system.clock
         registry = system.metrics
         object_list = list(objects)
-        # build (and seal) indexes up front so worker threads never race
-        # on the lazy build path; build cost is not attributed to the
-        # campaign scope
-        system.indexer.build()
 
         scope = registry.scope()
         tracer: Optional[Tracer] = None
@@ -207,6 +203,17 @@ class BatchEngine:
             root_span = tracer.root(
                 "verify_batch", attributes={"objects": len(object_list)}
             )
+
+        # build (and seal) indexes up front so worker threads never race
+        # on the lazy build path; build cost is not attributed to the
+        # campaign scope.  A traced cold build hangs its spans (sharded
+        # builds emit per-shard children) under the campaign root.
+        if tracer is not None and not system.indexer.is_built:
+            build_branch = tracer.branch()
+            system.indexer.build(branch=build_branch, parent=root_span)
+            build_branch.commit()
+        else:
+            system.indexer.build()
 
         def modalities_for(obj: DataObject) -> Tuple[Modality, ...]:
             if modalities is not None:

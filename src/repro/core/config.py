@@ -41,7 +41,15 @@ class VerifAIConfig:
       per-object error boundary grants an object whose
       retrieve/rerank/verify raised (0 = fail on the first error).
       Retries are immediate and deterministic — no sleeps or jitter —
-      so serial and parallel runs stay report-for-report identical.
+      so serial and parallel runs stay report-for-report identical;
+    * ``num_shards`` — partition every modality's content + semantic
+      index into this many shards by stable hash of the instance id's
+      root (1 = the monolithic index).  Scatter-gather search is
+      proven hit-for-hit identical to the unsharded build
+      (tests/test_index_sharding.py), so this is purely a scale knob;
+    * ``shard_build_workers`` — threads used to build shards in
+      parallel (0 = one worker per shard, 1 = serial build; only
+      meaningful when ``num_shards > 1``).
     """
 
     k_coarse: int = 50
@@ -59,6 +67,8 @@ class VerifAIConfig:
     verifier_cache_size: int = 65536
     batch_max_workers: int = 1
     batch_max_retries: int = 0
+    num_shards: int = 1
+    shard_build_workers: int = 0
 
     def fine_k(self, modality: Modality) -> int:
         """Shortlist size for one modality."""

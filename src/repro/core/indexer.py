@@ -10,28 +10,48 @@ Text documents may be indexed as sentence-aligned chunks
 longer drown a single relevant sentence in length normalization — and
 chunk hits are folded back to their parent documents.
 
-The module supports incremental updates: instances added to the lake
-after :meth:`build` can be folded in with :meth:`add_instance` without
-rebuilding.
+With ``config.num_shards > 1`` every modality's content + semantic
+index is partitioned into N shards by stable hash of the instance id's
+root (chunks co-locate with their parent document, tuples with their
+parent table), shards build in parallel, and ``search()`` runs
+scatter-gather.  Shard results are proven hit-for-hit identical — ids
+*and* scores — to the monolithic build (tests/test_index_sharding.py),
+so downstream modules never know shards exist.
+
+The module supports the full incremental lifecycle: instances added to
+the lake after :meth:`build` fold in with :meth:`add_instance`, and
+lake churn flows through :meth:`remove_instance` /
+:meth:`update_instance` (tombstone + lazy compaction + re-seal, vector
+eviction, payload-cache eviction) — no full rebuild required.
+Mutations are single-writer: do not interleave them with concurrent
+searches.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datalake.lake import DataLake
 from repro.datalake.serialize import serialize_instance
 from repro.datalake.types import DataInstance, Modality, Table, TextDocument
 from repro.embed.chunker import chunk_document
 from repro.embed.vectorizers import HashingVectorizer
-from repro.index.base import SearchHit
+from repro.index.base import SearchHit, SearchIndex
 from repro.index.combiner import Combiner, FusionMethod
 from repro.index.inverted import InvertedIndex
+from repro.index.shard import (
+    ShardedInvertedIndex,
+    ShardedVectorIndex,
+    shard_of,
+)
 from repro.index.vector import FlatVectorIndex
 from repro.core.config import VerifAIConfig
+from repro.obs.clock import Clock, MonotonicClock
 from repro.obs.metrics import get_registry
+from repro.obs.trace import NULL_BRANCH
 
 _INDEXED_MODALITIES = (
     Modality.TUPLE,
@@ -39,6 +59,10 @@ _INDEXED_MODALITIES = (
     Modality.TEXT,
     Modality.KG_ENTITY,
 )
+
+#: (shard number, build start, build end, entries built) timings the
+#: parallel build reports for metrics and spans
+_ShardTiming = Tuple[int, float, float, int]
 
 
 def _fold_chunks_to_documents(hits: List[SearchHit], k: int) -> List[SearchHit]:
@@ -61,20 +85,31 @@ def _fold_chunks_to_documents(hits: List[SearchHit], k: int) -> List[SearchHit]:
 class IndexerModule:
     """Per-modality content + semantic indexes with a Combiner on top."""
 
-    def __init__(self, lake: DataLake, config: Optional[VerifAIConfig] = None) -> None:
+    def __init__(
+        self,
+        lake: DataLake,
+        config: Optional[VerifAIConfig] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
         self.lake = lake
         self.config = config or VerifAIConfig()
-        self._content: Dict[Modality, InvertedIndex] = {}
-        self._semantic: Dict[Modality, FlatVectorIndex] = {}
+        if self.config.num_shards < 1:
+            raise ValueError(
+                f"num_shards must be >= 1, got {self.config.num_shards}"
+            )
+        self.clock: Clock = clock or MonotonicClock()
+        self._content: Dict[Modality, SearchIndex] = {}
+        self._semantic: Dict[Modality, SearchIndex] = {}
         self._combiners: Dict[Modality, Combiner] = {}
         self._vectorizer = HashingVectorizer(dim=self.config.embedding_dim)
         self._built = False
         # guards the lazy build: search()/verify paths may race to build
         # from the batch engine's worker threads
         self._build_lock = threading.Lock()
-        # serialized payloads are immutable once an instance is in the
+        # serialized payloads are immutable while an instance is in the
         # lake, so rerankers can share one serialization per instance
-        # instead of re-serializing it for every query
+        # instead of re-serializing it for every query; remove/update
+        # evict, so a mutated instance is never served stale
         self._payload_cache: "OrderedDict[str, str]" = OrderedDict()
         self._payload_lock = threading.Lock()
         self.payload_cache_hits = 0
@@ -84,6 +119,11 @@ class IndexerModule:
     @property
     def is_built(self) -> bool:
         return self._built
+
+    @property
+    def num_shards(self) -> int:
+        """Configured shard count (1 = monolithic indexes)."""
+        return self.config.num_shards
 
     # ------------------------------------------------------------------
     # construction
@@ -102,6 +142,29 @@ class IndexerModule:
                 return [(chunk.chunk_id, chunk.text) for chunk in chunks]
         return [(instance.instance_id, serialize_instance(instance))]
 
+    def _new_content_index(self, modality: Modality) -> SearchIndex:
+        if self.config.num_shards > 1:
+            return ShardedInvertedIndex(
+                self.config.num_shards, name=f"bm25-{modality.value}"
+            )
+        return InvertedIndex(name=f"bm25-{modality.value}")
+
+    def _new_semantic_index(self, modality: Modality) -> Optional[SearchIndex]:
+        if not self.config.use_semantic_index:
+            return None
+        if self.config.num_shards > 1:
+            return ShardedVectorIndex(
+                self.config.num_shards,
+                dim=self.config.embedding_dim,
+                encoder=self._vectorizer.transform,
+                name=f"vec-{modality.value}",
+            )
+        return FlatVectorIndex(
+            dim=self.config.embedding_dim,
+            encoder=self._vectorizer.transform,
+            name=f"vec-{modality.value}",
+        )
+
     def _add_to_indexes(self, modality: Modality, instance: DataInstance) -> None:
         content = self._content[modality]
         semantic = self._semantic.get(modality)
@@ -110,52 +173,143 @@ class IndexerModule:
             if semantic is not None:
                 semantic.add(index_id, payload)
 
-    def _iter_modality(self, modality: Modality):
+    def _modality_entries(self, modality: Modality) -> List[Tuple[str, str]]:
+        """Every (index id, payload) entry of one modality, in lake
+        iteration order."""
         if modality is Modality.KG_ENTITY:
-            return self.lake.kg.entities()
-        return self.lake.iter_instances(modality)
+            return [
+                (entity.instance_id, entity.serialize())
+                for entity in self.lake.kg.entities()
+            ]
+        entries: List[Tuple[str, str]] = []
+        for instance in self.lake.iter_instances(modality):
+            entries.extend(self._payload_entries(instance))
+        return entries
 
-    def build(self) -> "IndexerModule":
+    def build(self, branch=None, parent=None) -> "IndexerModule":
         """Index every instance of every modality (idempotent, and safe
         to race: the first caller builds under the lock, later callers
-        see the completed indexes)."""
+        see the completed indexes).
+
+        A tracing ``branch`` (plus ``parent`` span) emits one
+        ``index.build:<modality>`` span per modality with per-shard
+        children when the build is sharded.
+        """
         if self._built:
             return self
         with self._build_lock:
             if self._built:
                 return self
-            self._build_locked()
+            self._build_locked(branch=branch or NULL_BRANCH, parent=parent)
         return self
 
-    def _build_locked(self) -> None:
+    def _build_locked(self, branch=NULL_BRANCH, parent=None) -> None:
         for modality in _INDEXED_MODALITIES:
-            content = InvertedIndex(name=f"bm25-{modality.value}")
+            content = self._new_content_index(modality)
             self._content[modality] = content
-            if self.config.use_semantic_index:
-                self._semantic[modality] = FlatVectorIndex(
-                    dim=self.config.embedding_dim,
-                    encoder=self._vectorizer.transform,
-                    name=f"vec-{modality.value}",
-                )
-            if modality is Modality.KG_ENTITY:
-                for entity in self.lake.kg.entities():
-                    content.add(entity.instance_id, entity.serialize())
-                    semantic = self._semantic.get(modality)
-                    if semantic is not None:
-                        semantic.add(entity.instance_id, entity.serialize())
+            semantic = self._new_semantic_index(modality)
+            if semantic is not None:
+                self._semantic[modality] = semantic
+            entries = self._modality_entries(modality)
+            if self.config.num_shards > 1:
+                timings = self._build_shards(content, semantic, entries)
+                self._record_shard_build(branch, parent, modality, timings)
             else:
-                for instance in self.lake.iter_instances(modality):
-                    self._add_to_indexes(modality, instance)
-            indexes = [content]
-            if modality in self._semantic:
-                indexes.append(self._semantic[modality])
+                for index_id, payload in entries:
+                    content.add(index_id, payload)
+                    if semantic is not None:
+                        semantic.add(index_id, payload)
+            indexes: List[SearchIndex] = [content]
+            if semantic is not None:
+                indexes.append(semantic)
             self._combiners[modality] = Combiner(
                 indexes,
                 method=self.config.fusion,
                 name=f"combined-{modality.value}",
             )
         self.seal_indexes()
+        self._metrics.gauge("indexer.shard.count").set(self.config.num_shards)
         self._built = True
+
+    def _build_shards(
+        self,
+        content: ShardedInvertedIndex,
+        semantic: Optional[ShardedVectorIndex],
+        entries: Sequence[Tuple[str, str]],
+    ) -> List[_ShardTiming]:
+        """Partition the entries and build every shard, in parallel when
+        ``config.shard_build_workers`` allows.
+
+        Each shard is written by exactly one worker (the partition is
+        disjoint), so the build needs no locks; indexes are added to
+        shard sub-indexes directly, skipping the wrapper's per-add
+        seal invalidation (nothing is sealed yet).
+        """
+        num_shards = self.config.num_shards
+        buckets: List[List[Tuple[str, str]]] = [[] for _ in range(num_shards)]
+        for entry in entries:
+            buckets[shard_of(entry[0], num_shards)].append(entry)
+
+        def build_one(shard_no: int) -> _ShardTiming:
+            start = self.clock.now()
+            content_shard = content.shards[shard_no]
+            semantic_shard = (
+                semantic.shards[shard_no] if semantic is not None else None
+            )
+            for index_id, payload in buckets[shard_no]:
+                content_shard.add(index_id, payload)
+                if semantic_shard is not None:
+                    semantic_shard.add(index_id, payload)
+            return shard_no, start, self.clock.now(), len(buckets[shard_no])
+
+        workers = self.config.shard_build_workers or num_shards
+        if workers > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, num_shards)
+            ) as pool:
+                timings = list(pool.map(build_one, range(num_shards)))
+        else:
+            timings = [build_one(i) for i in range(num_shards)]
+        return timings
+
+    def _record_shard_build(
+        self, branch, parent, modality: Modality, timings: List[_ShardTiming]
+    ) -> None:
+        """Report per-shard build metrics, and spans when tracing.
+
+        Span indexes are the shard numbers, so the trace shape is
+        identical however the parallel build interleaved; start/end are
+        backfilled from the worker-measured times."""
+        build_seconds = self._metrics.histogram("indexer.shard.build_seconds")
+        for _, start, end, _ in timings:
+            build_seconds.observe(end - start)
+        self._metrics.counter("indexer.shard.builds").inc(len(timings))
+        if branch is None or branch is NULL_BRANCH:
+            return
+        with branch.span(
+            f"index.build:{modality.value}",
+            parent=parent,
+            attributes={
+                "modality": modality.value,
+                "shards": len(timings),
+            },
+        ) as mod_span:
+            shard_spans = []
+            for shard_no, start, end, entry_count in timings:
+                with branch.span(
+                    "index.build.shard",
+                    parent=mod_span,
+                    index=shard_no,
+                    attributes={"shard": shard_no, "entries": entry_count},
+                ) as shard_span:
+                    shard_spans.append((shard_span, start, end))
+        # replace open/close stamps with the worker-measured windows
+        for shard_span, start, end in shard_spans:
+            shard_span.start = start
+            shard_span.end = end
+        if timings:
+            mod_span.start = min(t[1] for t in timings)
+            mod_span.end = max(t[2] for t in timings)
 
     # ------------------------------------------------------------------
     # incremental updates
@@ -177,6 +331,70 @@ class IndexerModule:
             self._add_to_indexes(Modality.TEXT, instance)
         else:
             self._add_to_indexes(Modality.TUPLE, instance)
+        self._metrics.counter("indexer.mutations.added").inc()
+
+    def remove_instance(self, instance: DataInstance) -> None:
+        """Unindex an instance that was removed from the lake.
+
+        Takes the removed instance itself (what
+        :meth:`DataLake.remove_instance` returns) because its derived
+        index entries — a table's tuples, a chunked document's chunks —
+        are recomputed from it.  Content indexes tombstone and compact
+        lazily on the next read; vector and payload-cache entries are
+        evicted eagerly.  A no-op before :meth:`build` (the next build
+        reads the already-mutated lake).
+        """
+        if not self._built:
+            return
+        if isinstance(instance, Table):
+            self._remove_from_indexes(Modality.TABLE, instance)
+            for row in instance.iter_rows():
+                self._remove_from_indexes(Modality.TUPLE, row)
+        elif isinstance(instance, TextDocument):
+            self._remove_from_indexes(Modality.TEXT, instance)
+        else:
+            self._remove_from_indexes(Modality.TUPLE, instance)
+        self._metrics.counter("indexer.mutations.removed").inc()
+
+    def update_instance(
+        self, old: DataInstance, new: DataInstance
+    ) -> None:
+        """Replace an instance's index entries with its new version.
+
+        Needs both versions: the old one names the entries to drop
+        (its chunk/tuple ids may differ from the new one's), the new
+        one is what :meth:`DataLake.update_instance` registered.  A
+        no-op before :meth:`build`.
+        """
+        if old.instance_id != new.instance_id:
+            raise ValueError(
+                f"update must keep the instance id: "
+                f"{old.instance_id!r} != {new.instance_id!r}"
+            )
+        if not self._built:
+            return
+        self.remove_instance(old)
+        self.add_instance(new)
+        self._metrics.counter("indexer.mutations.updated").inc()
+
+    def _remove_from_indexes(
+        self, modality: Modality, instance: DataInstance
+    ) -> None:
+        content = self._content[modality]
+        semantic = self._semantic.get(modality)
+        for index_id, _ in self._payload_entries(instance):
+            content.remove(index_id)
+            if semantic is not None:
+                semantic.remove(index_id)
+        self._evict_payload(instance.instance_id)
+
+    def _evict_payload(self, instance_id: str) -> None:
+        """Drop one instance's cached serialization (coherence with
+        remove/update; a miss is fine)."""
+        with self._payload_lock:
+            self._payload_cache.pop(instance_id, None)
+            entries = len(self._payload_cache)
+        self._metrics.gauge("indexer.payload_cache.entries").set(entries)
 
     # ------------------------------------------------------------------
     # search
@@ -184,23 +402,34 @@ class IndexerModule:
     def search(
         self, query: str, modality: Modality, k: Optional[int] = None
     ) -> List[SearchHit]:
-        """Coarse top-k for one modality (content + semantic fused)."""
+        """Coarse top-k for one modality (content + semantic fused).
+
+        With shards configured this is a scatter-gather: every shard
+        answers, the merged ranking is provably identical to the
+        monolithic index's."""
         if not self._built:
             self.build()
         self._metrics.counter(f"indexer.search.{modality.value}").inc()
+        if self.config.num_shards > 1:
+            self._metrics.counter("indexer.shard.search.fanout").inc(
+                self.config.num_shards
+            )
         depth = k if k is not None else self.config.k_coarse
         if modality is Modality.TEXT and self.config.chunk_text:
             raw = self._combiners[modality].search(query, depth * 3)
             return _fold_chunks_to_documents(raw, depth)
         return self._combiners[modality].search(query, depth)
 
-    def content_index(self, modality: Modality) -> InvertedIndex:
-        """Direct access to one modality's BM25 index (for ablations)."""
+    def content_index(self, modality: Modality) -> SearchIndex:
+        """Direct access to one modality's BM25 index (for ablations).
+
+        An :class:`InvertedIndex`, or a :class:`ShardedInvertedIndex`
+        when ``config.num_shards > 1``."""
         if not self._built:
             self.build()
         return self._content[modality]
 
-    def semantic_index(self, modality: Modality) -> Optional[FlatVectorIndex]:
+    def semantic_index(self, modality: Modality) -> Optional[SearchIndex]:
         """Direct access to one modality's vector index, if enabled."""
         if not self._built:
             self.build()
@@ -215,7 +444,11 @@ class IndexerModule:
         return self
 
     def fetch_payload(self, instance_id: str) -> str:
-        """Serialized payload of any indexed instance, LRU-cached."""
+        """Serialized payload of any indexed instance, LRU-cached.
+
+        Cache entries are evicted on :meth:`remove_instance` /
+        :meth:`update_instance`, so a removed instance raises the
+        lake's ``KeyError`` and an updated one serializes fresh."""
         with self._payload_lock:
             payload = self._payload_cache.get(instance_id)
             if payload is not None:

@@ -134,7 +134,7 @@ class VerifAI:
         # the verifier LLM needs no parametric knowledge: it reasons over
         # the evidence in the prompt
         self.llm = llm or SimulatedLLM(knowledge=None)
-        self.indexer = IndexerModule(lake, self.config)
+        self.indexer = IndexerModule(lake, self.config, clock=self.clock)
         self.reranker = RerankerModule()
         agent = VerifierAgent(
             local_verifiers=local_verifiers,
@@ -184,6 +184,15 @@ class VerifAI:
             branch = NULL_BRANCH
         query = obj.query_text()
         fine = k_fine if k_fine is not None else self.config.fine_k(modality)
+
+        def retrieve_attrs(k: int) -> Dict[str, object]:
+            attrs: Dict[str, object] = {"modality": modality.value, "k": k}
+            # only stamp the fan-out when sharding is on, so traces of
+            # default-config runs stay byte-identical to earlier builds
+            if self.config.num_shards > 1:
+                attrs["shards"] = self.config.num_shards
+            return attrs
+
         if self.config.use_reranker:
             coarse_k = (
                 k_coarse if k_coarse is not None else self.config.k_coarse
@@ -191,7 +200,7 @@ class VerifAI:
             with branch.span(
                 f"retrieve:coarse:{modality.value}",
                 parent=parent,
-                attributes={"modality": modality.value, "k": coarse_k},
+                attributes=retrieve_attrs(coarse_k),
             ) as span:
                 coarse = self.indexer.search(query, modality, k_coarse)
                 span.set("hits", len(coarse))
@@ -211,7 +220,7 @@ class VerifAI:
         with branch.span(
             f"retrieve:coarse:{modality.value}",
             parent=parent,
-            attributes={"modality": modality.value, "k": fine},
+            attributes=retrieve_attrs(fine),
         ) as span:
             hits = self.indexer.search(query, modality, fine)
             span.set("hits", len(hits))
@@ -389,6 +398,26 @@ class VerifAI:
         """Fold a newly ingested lake instance into the live indexes
         (incremental indexing; the instance must already be in the lake)."""
         self.indexer.add_instance(instance)
+
+    def remove_instance(self, instance_id: str) -> DataInstance:
+        """Remove a table or document from the lake AND the live indexes.
+
+        The lake removal runs first (KeyError/ValueError surface before
+        anything is unindexed); the removed instance is returned.  After
+        this, retrieval never surfaces the instance and
+        ``fetch_payload`` raises the lake's KeyError for it.
+        """
+        instance = self.lake.remove_instance(instance_id)
+        self.indexer.remove_instance(instance)
+        return instance
+
+    def update_instance(self, instance: DataInstance) -> DataInstance:
+        """Replace a table/document in the lake AND the live indexes;
+        returns the old version.  Retrieval and payload fetches see the
+        new content immediately (no rebuild)."""
+        old = self.lake.update_instance(instance)
+        self.indexer.update_instance(old, instance)
+        return old
 
     def explain(self, report: VerificationReport) -> str:
         """Replay the full lineage of a verification (challenge C4)."""

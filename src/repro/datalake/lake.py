@@ -67,6 +67,82 @@ class DataLake:
         return self._kg
 
     # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def remove_table(self, table_id: str) -> Table:
+        """Deregister a table (and thereby all its tuples); returns it.
+
+        Raises ``KeyError`` when absent.
+        """
+        return self._tables.pop(table_id)
+
+    def remove_document(self, doc_id: str) -> TextDocument:
+        """Deregister a text document; returns it (KeyError when absent).
+
+        If the document was the page for its entity, the entity slot is
+        reassigned to the earliest remaining document with the same
+        entity — exactly what rebuilding the mapping from the remaining
+        documents would produce.
+        """
+        doc = self._documents.pop(doc_id)
+        if doc.entity:
+            entity = doc.entity.lower()
+            if self._entity_docs.get(entity) == doc_id:
+                del self._entity_docs[entity]
+                for other in self._documents.values():
+                    if other.entity and other.entity.lower() == entity:
+                        self._entity_docs[entity] = other.doc_id
+                        break
+        return doc
+
+    def remove_instance(self, instance_id: str) -> DataInstance:
+        """Remove a top-level instance (table or document) by id.
+
+        Returns the removed instance so callers (the Indexer) can
+        unindex its derived entries — a table's tuples, a document's
+        chunks.  Tuples and KG entities are not individually removable:
+        tuples live and die with their table, and raise ``ValueError``.
+        """
+        if instance_id in self._tables:
+            return self.remove_table(instance_id)
+        if instance_id in self._documents:
+            return self.remove_document(instance_id)
+        if "#r" in instance_id or instance_id.startswith("kg:"):
+            raise ValueError(
+                f"cannot remove {instance_id!r}: only top-level tables "
+                "and documents are removable"
+            )
+        raise KeyError(
+            f"no instance with id {instance_id!r} in lake {self.name!r}"
+        )
+
+    def update_instance(self, instance: DataInstance) -> DataInstance:
+        """Replace the table/document with ``instance``'s id; returns
+        the old version.  The id must already be registered (KeyError
+        otherwise) and the modality must match (ValueError otherwise).
+        """
+        if isinstance(instance, Table):
+            if instance.table_id not in self._tables:
+                raise KeyError(
+                    f"no table with id {instance.table_id!r} to update"
+                )
+            old = self.remove_table(instance.table_id)
+            self.add_table(instance)
+            return old
+        if isinstance(instance, TextDocument):
+            if instance.doc_id not in self._documents:
+                raise KeyError(
+                    f"no document with id {instance.doc_id!r} to update"
+                )
+            old = self.remove_document(instance.doc_id)
+            self.add_document(instance)
+            return old
+        raise ValueError(
+            f"cannot update a {type(instance).__name__}: only tables "
+            "and documents are updatable"
+        )
+
+    # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     def table(self, table_id: str) -> Table:

@@ -19,6 +19,22 @@ it, so callers never see a stale ranking.  Both paths produce
 bit-identical hit lists: the sealed scorer replays the exact arithmetic
 of the dict scorer (same operation order, same IEEE doubles) and breaks
 ties on instance id the same way.
+
+Two extensions support the sharded deployment
+(:mod:`repro.index.shard`):
+
+* **pluggable corpus statistics** — BM25's idf and length
+  normalization depend on corpus-wide aggregates (document count,
+  total token length, per-token document frequency).  By default an
+  index scores against its own postings; assigning
+  :attr:`InvertedIndex.corpus_stats` makes it score against an
+  external :class:`CorpusStats` view instead, which is how N shards
+  of one logical index all rank with *global* statistics and stay
+  score-identical to the unsharded build;
+* **live mutation** — :meth:`remove` tombstones a document in O(1)
+  (statistics are corrected immediately; postings keep the dead
+  entries), and the next scoring read compacts the postings lazily
+  and re-seals.  :meth:`update` is remove + add.
 """
 
 from __future__ import annotations
@@ -34,6 +50,32 @@ except ImportError:  # pragma: no cover - the image bakes numpy in
 
 from repro.index.base import SearchHit, SearchIndex, top_k
 from repro.text import analyze
+
+
+class CorpusStats:
+    """Corpus-wide aggregates BM25 scoring depends on.
+
+    The base implementation mirrors a single index's own postings; the
+    sharded layer substitutes an aggregating view so every shard scores
+    with the statistics of the *whole* logical corpus.  All three
+    quantities are integers, so aggregation across shards reproduces
+    the unsharded values exactly (no float summation-order drift).
+    """
+
+    def __init__(self, index: "InvertedIndex") -> None:
+        self._index = index
+
+    def doc_count(self) -> int:
+        """Number of live (non-tombstoned) documents."""
+        return len(self._index._doc_length)
+
+    def total_token_length(self) -> int:
+        """Sum of live document lengths (for average length)."""
+        return self._index._total_length
+
+    def df(self, token: str) -> int:
+        """Number of live documents containing ``token``."""
+        return self._index.local_df(token)
 
 
 class _SealedPostings:
@@ -80,6 +122,16 @@ class InvertedIndex(SearchIndex):
         self._doc_length: Dict[str, int] = {}
         self._total_length = 0
         self._sealed: Optional[_SealedPostings] = None
+        # ids removed but not yet purged from the postings; any scoring
+        # read compacts first, so stale entries are never scored
+        self._tombstones: Dict[str, None] = {}
+        #: statistics provider BM25 scores against; ``None`` = this
+        #: index's own postings.  The sharded layer assigns a global
+        #: aggregating view here.
+        self.corpus_stats: Optional[CorpusStats] = None
+
+    def _stats(self) -> CorpusStats:
+        return self.corpus_stats or CorpusStats(self)
 
     def _analyze(self, text: str) -> List[str]:
         return analyze(
@@ -91,6 +143,10 @@ class InvertedIndex(SearchIndex):
     def add(self, instance_id: str, payload: str) -> None:
         if instance_id in self._doc_length:
             raise ValueError(f"duplicate instance id: {instance_id}")
+        if instance_id in self._tombstones:
+            # re-adding a tombstoned id: purge its stale postings first,
+            # or compaction would later delete the fresh entries too
+            self.compact()
         self._sealed = None  # any write invalidates the compiled form
         tokens = self._analyze(payload)
         self._doc_length[instance_id] = len(tokens)
@@ -98,19 +154,82 @@ class InvertedIndex(SearchIndex):
         for token, count in Counter(tokens).items():
             self._postings[token][instance_id] = count
 
+    def remove(self, instance_id: str) -> None:
+        """Tombstone one document in O(1).
+
+        Statistics (document count, total length) are corrected
+        immediately so idf/avg-length reads stay exact; the document's
+        postings entries are purged lazily by :meth:`compact` on the
+        next scoring read.  Raises ``KeyError`` for an unknown id.
+        """
+        length = self._doc_length.pop(instance_id)  # KeyError when absent
+        self._total_length -= length
+        self._tombstones[instance_id] = None
+        self._sealed = None  # any write invalidates the compiled form
+
+    def update(self, instance_id: str, payload: str) -> None:
+        """Replace one document's payload (remove + add)."""
+        self.remove(instance_id)
+        self.add(instance_id, payload)
+
+    def compact(self) -> None:
+        """Purge tombstoned documents from the postings (idempotent).
+
+        Deferred from :meth:`remove` to the next scoring read so a
+        burst of removals pays for one postings walk, not one per
+        delete.
+        """
+        if not self._tombstones:
+            return
+        dead = self._tombstones
+        empty_tokens = []
+        for token, entry in self._postings.items():
+            stale = [doc_id for doc_id in entry if doc_id in dead]
+            for doc_id in stale:
+                del entry[doc_id]
+            if not entry:
+                empty_tokens.append(token)
+        for token in empty_tokens:
+            del self._postings[token]
+        self._tombstones = {}
+
+    @property
+    def pending_tombstones(self) -> int:
+        """Removed documents not yet compacted out of the postings."""
+        return len(self._tombstones)
+
+    def invalidate_seal(self) -> None:
+        """Drop the compiled read form (next search re-seals).
+
+        The sharded layer calls this on *every* shard when *any* shard
+        mutates: global corpus statistics changed, so every shard's
+        compiled idf/norm tables are stale even though its own postings
+        did not move.
+        """
+        self._sealed = None
+
     def __len__(self) -> int:
         return len(self._doc_length)
 
+    def local_df(self, token: str) -> int:
+        """Document frequency of ``token`` in *this* index's postings
+        (compacting first, so tombstoned documents never count)."""
+        self.compact()
+        return len(self._postings.get(token, ()))
+
     @property
     def avg_doc_length(self) -> float:
-        if not self._doc_length:
+        stats = self._stats()
+        num_docs = stats.doc_count()
+        if not num_docs:
             return 0.0
-        return self._total_length / len(self._doc_length)
+        return stats.total_token_length() / num_docs
 
     def idf(self, token: str) -> float:
         """BM25+ style idf, floored at a small positive value."""
-        num_docs = len(self._doc_length)
-        df = len(self._postings.get(token, ()))
+        stats = self._stats()
+        num_docs = stats.doc_count()
+        df = stats.df(token)
         if num_docs == 0:
             return 0.0
         raw = math.log((num_docs - df + 0.5) / (df + 0.5) + 1.0)
@@ -133,6 +252,7 @@ class InvertedIndex(SearchIndex):
             raise RuntimeError("sealing requires numpy")
         if self._sealed is not None:
             return self
+        self.compact()
         doc_ids = list(self._doc_length)
         doc_pos = {doc_id: i for i, doc_id in enumerate(doc_ids)}
         avg_len = self.avg_doc_length
@@ -207,6 +327,7 @@ class InvertedIndex(SearchIndex):
         Kept as the differential-testing oracle for the sealed form and
         as the fallback when numpy is unavailable.
         """
+        self.compact()
         tokens = self._analyze(query)
         if not tokens or not self._doc_length:
             return []

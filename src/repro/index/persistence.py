@@ -4,6 +4,11 @@ Rebuilding a BM25 index over a large lake on every process start is the
 dominant cold-start cost; these helpers snapshot an
 :class:`~repro.index.inverted.InvertedIndex` to JSON and restore it
 without re-analyzing the corpus.
+
+Sharded indexes (:class:`~repro.index.shard.ShardedInvertedIndex`)
+snapshot as one manifest file per logical index plus one payload per
+shard; shards are compacted (tombstones purged) before writing, so a
+snapshot never carries dead postings.
 """
 
 from __future__ import annotations
@@ -13,13 +18,16 @@ from pathlib import Path
 from typing import Union
 
 from repro.index.inverted import InvertedIndex
+from repro.index.shard import ShardedInvertedIndex
 
 _FORMAT_VERSION = 1
+_SHARDED_FORMAT_VERSION = 1
 
 
-def save_inverted_index(index: InvertedIndex, path: Union[str, Path]) -> None:
-    """Snapshot an inverted index to ``path``."""
-    payload = {
+def _index_payload(index: InvertedIndex) -> dict:
+    """The JSON-serializable snapshot of one inverted index."""
+    index.compact()
+    return {
         "version": _FORMAT_VERSION,
         "name": index.name,
         "k1": index.k1,
@@ -32,16 +40,10 @@ def save_inverted_index(index: InvertedIndex, path: Union[str, Path]) -> None:
             token: postings for token, postings in index._postings.items()
         },
     }
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(payload, handle, ensure_ascii=False)
 
 
-def load_inverted_index(path: Union[str, Path]) -> InvertedIndex:
-    """Restore an inverted index written by :func:`save_inverted_index`."""
-    with Path(path).open("r", encoding="utf-8") as handle:
-        payload = json.load(handle)
+def _index_from_payload(payload: dict) -> InvertedIndex:
+    """Rebuild one inverted index from its snapshot payload."""
     if payload.get("version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported index format version: {payload.get('version')!r}"
@@ -59,4 +61,73 @@ def load_inverted_index(path: Union[str, Path]) -> InvertedIndex:
         index._postings[token] = {
             doc_id: int(count) for doc_id, count in postings.items()
         }
+    return index
+
+
+def _write_json(payload: dict, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, ensure_ascii=False)
+
+
+def save_inverted_index(index: InvertedIndex, path: Union[str, Path]) -> None:
+    """Snapshot an inverted index to ``path``."""
+    _write_json(_index_payload(index), Path(path))
+
+
+def load_inverted_index(path: Union[str, Path]) -> InvertedIndex:
+    """Restore an inverted index written by :func:`save_inverted_index`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return _index_from_payload(payload)
+
+
+def save_sharded_index(
+    index: ShardedInvertedIndex, path: Union[str, Path]
+) -> None:
+    """Snapshot a sharded inverted index as one manifest at ``path``.
+
+    Shard payloads are embedded in the manifest (the shard partition is
+    a pure function of the ids, but persisting the actual per-shard
+    postings avoids re-hashing and re-bucketing on load).
+    """
+    payload = {
+        "version": _SHARDED_FORMAT_VERSION,
+        "name": index.name,
+        "num_shards": index.num_shards,
+        "shards": [_index_payload(shard) for shard in index.shards],
+    }
+    _write_json(payload, Path(path))
+
+
+def load_sharded_index(path: Union[str, Path]) -> ShardedInvertedIndex:
+    """Restore a sharded index written by :func:`save_sharded_index`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _SHARDED_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sharded index format version: "
+            f"{payload.get('version')!r}"
+        )
+    num_shards = int(payload["num_shards"])
+    if len(payload["shards"]) != num_shards:
+        raise ValueError(
+            f"manifest promises {num_shards} shards but carries "
+            f"{len(payload['shards'])}"
+        )
+    first = payload["shards"][0]
+    index = ShardedInvertedIndex(
+        num_shards,
+        name=payload["name"],
+        k1=first["k1"],
+        b=first["b"],
+        remove_stopwords=first["remove_stopwords"],
+        stemming=first["stemming"],
+    )
+    for shard_no, shard_payload in enumerate(payload["shards"]):
+        restored = _index_from_payload(shard_payload)
+        shard = index.shards[shard_no]
+        shard._doc_length = restored._doc_length
+        shard._total_length = restored._total_length
+        shard._postings = restored._postings
     return index

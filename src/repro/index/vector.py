@@ -61,8 +61,18 @@ class VectorIndex(SearchIndex):
     def search(self, query: str, k: int = 10) -> List[SearchHit]:
         return self.search_vector(self.encode(query), k)
 
+    def remove(self, instance_id: str) -> None:
+        """Evict one stored vector (KeyError when absent).
+
+        The flat backend supports this exactly; approximate backends
+        may override or refuse."""
+        self.remove_vector(instance_id)
+
     def __len__(self) -> int:
         return len(self._ids)
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._id_set
 
     # -- vector interface ----------------------------------------------
     def add_vector(self, instance_id: str, vector: np.ndarray) -> None:
@@ -72,6 +82,12 @@ class VectorIndex(SearchIndex):
         self._id_set.add(instance_id)
         self._ids.append(instance_id)
         self._store(instance_id, vector)
+
+    def remove_vector(self, instance_id: str) -> None:
+        """Backend-specific eviction; exact backends implement it."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support removal"
+        )
 
     @abc.abstractmethod
     def _store(self, instance_id: str, vector: np.ndarray) -> None:
@@ -109,6 +125,23 @@ class FlatVectorIndex(VectorIndex):
 
     def _store(self, instance_id: str, vector: np.ndarray) -> None:
         self._rows.append(vector)
+        self._matrix = None  # invalidate cache
+
+    def remove_vector(self, instance_id: str) -> None:
+        """Evict one vector and its id (KeyError when absent).
+
+        O(n) — the flat index is a dense list; fine for the live-
+        mutation rates the indexer sees (bulk churn goes through a
+        rebuild)."""
+        try:
+            index = self._ids.index(instance_id)
+        except ValueError:
+            raise KeyError(
+                f"no vector with id {instance_id!r} in {self.name!r}"
+            ) from None
+        del self._ids[index]
+        del self._rows[index]
+        self._id_set.discard(instance_id)
         self._matrix = None  # invalidate cache
 
     def _get_matrix(self) -> np.ndarray:

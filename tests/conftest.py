@@ -1,11 +1,117 @@
 """Shared test fixtures: a tiny hand-written lake and a small synthetic
-bundle, both session-scoped (construction is deterministic)."""
+bundle (both session-scoped; construction is deterministic), plus the
+seeded churn-sequence generator the sharding/churn differential tests
+drive lake mutation with."""
+
+import random
 
 import pytest
 
 from repro.datalake.lake import DataLake
 from repro.datalake.types import Source, Table, TextDocument
 from repro.workloads.builder import LakeConfig, build_lake
+
+
+def _churn_ops(lake, seed, steps):
+    """Yield a seeded stream of lake-mutation operations.
+
+    Each yielded op describes ONE mutation the consumer must apply to
+    ``lake`` (directly, or through ``VerifAI``/``IndexerModule``)
+    before pulling the next op — ops are chosen against the lake's
+    *current* state, so the stream adapts to what the consumer did:
+
+    * ``("remove", instance_id)`` — remove a live table/document;
+    * ``("add", instance)`` — re-register a previously removed
+      instance;
+    * ``("update", new_instance)`` — replace a live table/document
+      with a mutated version (cell edits, row append/drop, text
+      growth), same id.
+
+    All randomness comes from ``random.Random(seed)`` over sorted id
+    lists, so a (lake, seed, steps) triple always produces the same
+    interleaving.
+    """
+    rng = random.Random(seed)
+    removed = []  # instances the consumer was told to remove
+    revision = 0
+    for _ in range(steps):
+        table_ids = sorted(t.table_id for t in lake.tables())
+        doc_ids = sorted(d.doc_id for d in lake.documents())
+        choices = []
+        # keep a floor of live instances so retrieval always has a corpus
+        if len(table_ids) > 2:
+            choices.append("remove_table")
+        if len(doc_ids) > 2:
+            choices.append("remove_doc")
+        if removed:
+            choices.extend(["readd", "readd"])
+        if table_ids:
+            choices.append("update_table")
+        if doc_ids:
+            choices.append("update_doc")
+        op = rng.choice(choices)
+        revision += 1
+        if op == "remove_table":
+            table_id = rng.choice(table_ids)
+            removed.append(lake.table(table_id))
+            yield ("remove", table_id)
+        elif op == "remove_doc":
+            doc_id = rng.choice(doc_ids)
+            removed.append(lake.document(doc_id))
+            yield ("remove", doc_id)
+        elif op == "readd":
+            instance = removed.pop(rng.randrange(len(removed)))
+            yield ("add", instance)
+        elif op == "update_table":
+            table = lake.table(rng.choice(table_ids))
+            rows = [list(row) for row in table.rows]
+            roll = rng.random()
+            if roll < 0.3 and len(rows) > 1:
+                del rows[-1]  # shrink: update must drop the dead row id
+            elif roll < 0.6:
+                rows.append(
+                    [f"{cell} r{revision}" for cell in rows[0]]
+                )  # grow: update must index the new row id
+            else:
+                i = rng.randrange(len(rows))
+                j = rng.randrange(len(table.columns))
+                rows[i][j] = f"{rows[i][j]} v{revision}"
+            yield (
+                "update",
+                Table(
+                    table_id=table.table_id,
+                    caption=f"{table.caption} rev {revision}",
+                    columns=table.columns,
+                    rows=[tuple(row) for row in rows],
+                    source=table.source,
+                    entity_columns=table.entity_columns,
+                    key_column=table.key_column,
+                    metadata=dict(table.metadata),
+                ),
+            )
+        else:  # update_doc
+            doc = lake.document(rng.choice(doc_ids))
+            yield (
+                "update",
+                TextDocument(
+                    doc_id=doc.doc_id,
+                    title=doc.title,
+                    text=(
+                        f"{doc.text} Revision {revision} appends churn "
+                        f"evidence about the same subject."
+                    ),
+                    source=doc.source,
+                    entity=doc.entity,
+                    metadata=dict(doc.metadata),
+                ),
+            )
+
+
+@pytest.fixture(scope="session")
+def churn_ops():
+    """The seeded churn-sequence generator (see :func:`_churn_ops`);
+    shared by the sharding and churn differential test modules."""
+    return _churn_ops
 
 
 @pytest.fixture(scope="session")

@@ -226,3 +226,36 @@ class TestDiscover:
         output = capsys.readouterr().out
         assert "[tuple" in output
         assert "[text" not in output
+
+
+class TestShardsFlag:
+    def test_sharded_claim_matches_monolithic(self, lake_path, capsys):
+        argv = [
+            "verify-claim", "--lake", lake_path,
+            "--text", "the gold of valoria is 10",
+            "--context", "1960 summer games in lakeview medal table",
+        ]
+        assert main(argv) == 0
+        mono_out = capsys.readouterr().out
+        assert main(argv + ["--shards", "3"]) == 0
+        assert capsys.readouterr().out == mono_out
+
+    def test_sharded_batch_matches_monolithic(self, lake_path, capsys):
+        argv = [
+            "verify-batch", "--lake", lake_path,
+            "--sample", "4", "--seed", "3",
+        ]
+
+        def verdict_lines(output):
+            # drop the stats line: wall time and analyze-cache traffic
+            # legitimately differ between build layouts; verdicts do not
+            return [
+                line for line in output.splitlines()
+                if "cache hits" not in line
+            ]
+
+        assert main(argv) == 0
+        mono_out = verdict_lines(capsys.readouterr().out)
+        assert main(argv + ["--shards", "2"]) == 0
+        assert verdict_lines(capsys.readouterr().out) == mono_out
+        assert mono_out  # sanity: something was compared

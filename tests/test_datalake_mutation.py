@@ -1,0 +1,113 @@
+"""DataLake mutation: remove/update semantics and entity remapping."""
+
+import pytest
+
+from repro.datalake.lake import DataLake
+from repro.datalake.types import Source, Table, TextDocument
+
+
+def doc(doc_id, entity=None, text="some page text"):
+    return TextDocument(
+        doc_id=doc_id, title=doc_id, text=text,
+        source=Source("wikipages"), entity=entity,
+    )
+
+
+def table(table_id):
+    return Table(
+        table_id=table_id, caption=f"caption of {table_id}",
+        columns=("k", "v"), rows=[("a", "1"), ("b", "2")],
+        source=Source("test"),
+    )
+
+
+@pytest.fixture()
+def lake():
+    lk = DataLake(name="mut")
+    lk.add_table(table("t1"))
+    lk.add_table(table("t2"))
+    lk.add_document(doc("d1", entity="ada lovelace"))
+    lk.add_document(doc("d2", entity="ada lovelace"))
+    lk.add_document(doc("d3"))
+    return lk
+
+
+class TestRemove:
+    def test_remove_table_drops_tuples(self, lake):
+        removed = lake.remove_instance("t1")
+        assert removed.table_id == "t1"
+        assert "t1" not in lake
+        assert "t1#r0" not in lake
+        assert "t2#r0" in lake
+
+    def test_remove_document(self, lake):
+        removed = lake.remove_instance("d3")
+        assert removed.doc_id == "d3"
+        assert "d3" not in lake
+        with pytest.raises(KeyError):
+            lake.document("d3")
+
+    def test_entity_slot_reassigned_to_next_doc(self, lake):
+        assert lake.entity_page("ada lovelace").doc_id == "d1"
+        lake.remove_instance("d1")
+        # d2 carries the same entity and is the earliest remaining doc
+        assert lake.entity_page("ada lovelace").doc_id == "d2"
+        lake.remove_instance("d2")
+        assert lake.entity_page("ada lovelace") is None
+
+    def test_entity_slot_untouched_when_other_doc_owns_it(self, lake):
+        # d1 owns the slot; removing d2 must not touch it
+        lake.remove_instance("d2")
+        assert lake.entity_page("ada lovelace").doc_id == "d1"
+
+    def test_remove_unknown_raises_keyerror(self, lake):
+        with pytest.raises(KeyError):
+            lake.remove_instance("ghost")
+
+    def test_tuples_and_kg_not_removable(self, lake):
+        with pytest.raises(ValueError):
+            lake.remove_instance("t1#r0")
+        with pytest.raises(ValueError):
+            lake.remove_instance("kg:someone")
+
+    def test_stats_shrink(self, lake):
+        before = lake.stats()
+        lake.remove_instance("t1")
+        after = lake.stats()
+        assert after.num_tables == before.num_tables - 1
+        assert after.num_tuples == before.num_tuples - 2
+
+
+class TestUpdate:
+    def test_update_table_returns_old(self, lake):
+        new = Table(
+            table_id="t1", caption="rewritten caption",
+            columns=("k", "v"), rows=[("z", "9")], source=Source("test"),
+        )
+        old = lake.update_instance(new)
+        assert old.caption == "caption of t1"
+        assert lake.table("t1").caption == "rewritten caption"
+        assert lake.table("t1").num_rows == 1
+        assert "t1#r1" not in lake  # dropped row id resolves no more
+
+    def test_update_document_returns_old(self, lake):
+        new = doc("d3", text="fresh text")
+        old = lake.update_instance(new)
+        assert old.text == "some page text"
+        assert lake.document("d3").text == "fresh text"
+
+    def test_update_unknown_id_raises(self, lake):
+        with pytest.raises(KeyError):
+            lake.update_instance(doc("ghost"))
+        with pytest.raises(KeyError):
+            lake.update_instance(table("ghost"))
+
+    def test_update_wrong_type_raises(self, lake):
+        with pytest.raises(ValueError):
+            lake.update_instance(lake.table("t1").row(0))
+
+    def test_readd_after_remove(self, lake):
+        removed = lake.remove_instance("t1")
+        lake.add_table(removed)
+        assert "t1" in lake
+        assert "t1#r0" in lake
