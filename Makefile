@@ -1,14 +1,15 @@
 # Convenience targets for the VerifAI reproduction.
 
-.PHONY: install check test test-faults test-obs test-shard trace-demo bench bench-batch bench-shard bench-paper experiments examples lint lint-json
+.PHONY: install check test test-faults test-obs test-shard trace-demo bench bench-quick bench-batch bench-shard bench-paper experiments examples lint lint-json
 
 install:
 	pip install -e . --no-build-isolation
 
 # the default CI gate: static analysis first, then the test suite
-# (which includes the observability smoke below) and the sharding/churn
-# differential suite with its slow soak
-check: lint test-obs test test-shard
+# (which includes the observability smoke below), the sharding/churn
+# differential suite with its slow soak, and the timing-free
+# differential proofs behind the benchmark claims
+check: lint test-obs test test-shard bench-quick
 
 # tests/ includes tests/test_batch_faults.py, the fault-isolation suite
 # for verification campaigns (poisoned objects, retries, fail_fast, and
@@ -49,6 +50,14 @@ lint-json:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# the timing-free half of the benchmark story: the bit-identity proofs
+# behind every speed claim (query-matrix kernel, memmap round-trip,
+# executor equivalence) — no timing assertions, pure score equality,
+# fast enough to gate every `make check`
+bench-quick:
+	PYTHONPATH=src pytest tests/test_index_matrix.py \
+		tests/test_index_memmap.py tests/test_index_executor.py -q
 
 bench-batch:
 	pytest benchmarks/test_bench_batch.py --benchmark-only \

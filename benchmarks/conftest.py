@@ -7,6 +7,7 @@ original evaluation and is what EXPERIMENTS.md reports.
 """
 
 import os
+import time
 
 import pytest
 
@@ -17,10 +18,55 @@ def scale_name() -> str:
     return os.environ.get("REPRO_SCALE", "medium")
 
 
+def cpu_count() -> int:
+    """Cores the benchmark host exposes (1 when undetectable)."""
+    return os.cpu_count() or 1
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    """Stamp the core count prominently into every BENCH_*.json.
+
+    Parallel-vs-serial comparisons are meaningless without it: on a
+    single-core host the process executor *should* lose to serial, and
+    readers of the JSON need to see that context next to the numbers
+    (see docs/performance.md).
+    """
+    machine_info["cpu_count"] = cpu_count()
+    cpu = machine_info.setdefault("cpu", {})
+    if isinstance(cpu, dict):
+        cpu["count"] = cpu_count()
+
+
+def skip_unless_multicore(what: str) -> None:
+    """Skip a parallel-beats-serial assertion on single-core hosts,
+    loudly: the skip reason names the assertion so a BENCH refresh on
+    a small CI box reads as 'not asserted here', never 'passed'."""
+    if cpu_count() < 2:
+        pytest.skip(
+            f"single-core machine (cpu_count={cpu_count()}): "
+            f"{what} is only asserted on multicore hosts"
+        )
+
+
 @pytest.fixture(scope="session")
 def context():
     """The shared experiment context (lake + workloads + models)."""
     return get_context(scale_name())
+
+
+def best_of(fn, rounds=7):
+    """Minimum wall time over ``rounds`` calls of a warmed function.
+
+    The estimator the speedup assertions use: for a deterministic
+    operation the minimum is the least noisy statistic, and comparing
+    two minimums is robust against one-off scheduler hiccups that
+    would make a mean-vs-mean assertion flaky."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def run_once(benchmark, fn, *args, **kwargs):

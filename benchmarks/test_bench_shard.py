@@ -1,6 +1,6 @@
 """Sharded-index benchmarks.
 
-Three comparisons the sharding PR cares about:
+Five comparisons the sharding PRs care about:
 
 * full index build: monolithic vs sharded-serial vs sharded-parallel
   (the parallel build's headroom is bounded by the host's core count
@@ -8,7 +8,13 @@ Three comparisons the sharding PR cares about:
   ``BENCH_shard.json`` are whatever the measurement machine honestly
   produced, single-core hosts included);
 * scatter-gather search vs monolithic search at equal corpus size;
-* live mutation (update + re-search) against the rebuild alternative.
+* live mutation (update + re-search) against the rebuild alternative;
+* memmap cold-attach of a sealed snapshot vs rebuilding the index from
+  the corpus — the persistence layer's acceptance bar is >= 5x;
+* thread-pool vs process-pool scatter-gather on a query campaign (the
+  process-beats-thread assertion only runs on multicore hosts — see
+  ``skip_unless_multicore`` — because on one core the process pool's
+  IPC is pure overhead).
 
 ``make bench-shard`` runs this file; the recorded baseline lives in
 ``BENCH_shard.json``.
@@ -19,8 +25,10 @@ import pytest
 from repro.core.config import VerifAIConfig
 from repro.core.indexer import IndexerModule
 from repro.datalake.types import Modality, TextDocument
+from repro.index.inverted import InvertedIndex
+from repro.index.persistence import attach_sealed_index, save_sealed_index
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import best_of, run_once, skip_unless_multicore
 
 SHARDS = 4
 
@@ -130,3 +138,106 @@ class TestMutation:
 
     def test_update_via_rebuild(self, benchmark, context):
         run_once(benchmark, churn_rebuild, context)
+
+
+# ----------------------------------------------------------------------
+# persistence: memmap cold-attach vs rebuilding from the corpus
+# ----------------------------------------------------------------------
+def corpus_index(context):
+    """Build + seal a text index over the lake's documents — the work a
+    process has to repeat when it cannot attach a snapshot."""
+    index = InvertedIndex(name="persist-bench")
+    for doc in context.bundle.lake.documents():
+        index.add(doc.doc_id, doc.text)
+    index.seal()
+    return index
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(context, tmp_path_factory):
+    target = tmp_path_factory.mktemp("bench-persist") / "sealed"
+    save_sealed_index(corpus_index(context), target)
+    return target
+
+
+class TestPersistence:
+    def test_bench_rebuild_from_corpus(self, benchmark, context):
+        index = run_once(benchmark, corpus_index, context)
+        assert index.is_sealed
+
+    def test_bench_memmap_attach(self, benchmark, snapshot_dir):
+        attached = benchmark(attach_sealed_index, snapshot_dir)
+        assert attached.is_attached
+
+    def test_bench_attach_speedup(self, benchmark, context, snapshot_dir):
+        """The acceptance bar: memmap cold-attach beats a full rebuild
+        by >= 5x, answering queries identically (differential-tested in
+        tests/test_index_memmap.py)."""
+        rebuild = best_of(lambda: corpus_index(context), rounds=5)
+        attach = best_of(lambda: attach_sealed_index(snapshot_dir), rounds=5)
+        benchmark.extra_info["rebuild_s"] = rebuild
+        benchmark.extra_info["attach_s"] = attach
+        benchmark.extra_info["speedup"] = rebuild / attach
+        run_once(benchmark, attach_sealed_index, snapshot_dir)
+        assert rebuild >= 5.0 * attach, (
+            f"attach speedup {rebuild / attach:.2f}x is under the 5x bar "
+            f"(rebuild {rebuild * 1e3:.2f}ms, attach {attach * 1e3:.2f}ms)"
+        )
+
+
+# ----------------------------------------------------------------------
+# executors: thread-pool vs process-pool scatter-gather
+# ----------------------------------------------------------------------
+CAMPAIGN = QUERIES * 8  # a 32-query campaign, matrix-scored per shard
+
+
+def campaign_sweep(indexer):
+    total = 0
+    for modality in (Modality.TUPLE, Modality.TABLE, Modality.TEXT):
+        for hits in indexer.search_batch(CAMPAIGN, modality, 10):
+            total += len(hits)
+    return total
+
+
+@pytest.fixture(scope="module")
+def sharded_thread(context):
+    return build(
+        context, num_shards=SHARDS, shard_search_executor="thread"
+    )
+
+
+@pytest.fixture(scope="module")
+def sharded_process(context):
+    return build(
+        context, num_shards=SHARDS, shard_search_executor="process"
+    )
+
+
+class TestExecutors:
+    def test_bench_scatter_thread(self, benchmark, sharded_thread):
+        campaign_sweep(sharded_thread)  # warm: seal every shard
+        assert benchmark(campaign_sweep, sharded_thread) > 0
+
+    def test_bench_scatter_process(self, benchmark, sharded_process):
+        campaign_sweep(sharded_process)  # warm: spool + worker attach
+        assert benchmark(campaign_sweep, sharded_process) > 0
+
+    def test_bench_process_beats_thread(
+        self, benchmark, sharded_thread, sharded_process
+    ):
+        """Only meaningful with real parallel headroom: on a single
+        core the process pool's IPC is pure overhead and this skips."""
+        skip_unless_multicore("process-pool beats thread-pool scatter")
+        campaign_sweep(sharded_thread)
+        campaign_sweep(sharded_process)
+        thread_t = best_of(lambda: campaign_sweep(sharded_thread))
+        process_t = best_of(lambda: campaign_sweep(sharded_process))
+        benchmark.extra_info["thread_s"] = thread_t
+        benchmark.extra_info["process_s"] = process_t
+        benchmark.extra_info["speedup"] = thread_t / process_t
+        run_once(benchmark, campaign_sweep, sharded_process)
+        assert process_t < thread_t, (
+            f"process scatter ({process_t * 1e3:.2f}ms) did not beat "
+            f"thread scatter ({thread_t * 1e3:.2f}ms) on a "
+            "multicore host"
+        )

@@ -5,6 +5,13 @@ from repro.analysis.rules import (
     contracts,
     determinism,
     observability,
+    performance,
 )
 
-__all__ = ["concurrency", "contracts", "determinism", "observability"]
+__all__ = [
+    "concurrency",
+    "contracts",
+    "determinism",
+    "observability",
+    "performance",
+]

@@ -57,7 +57,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _system_for(args: argparse.Namespace) -> VerifAI:
     lake = load_lake(args.lake)
-    config = VerifAIConfig(num_shards=getattr(args, "shards", 1))
+    config = VerifAIConfig(
+        num_shards=getattr(args, "shards", 1),
+        shard_search_executor=getattr(args, "shard_executor", "serial"),
+    )
     return VerifAI(lake, config=config).build_indexes()
 
 
@@ -269,6 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--shards", type=int, default=1,
         help="index shard count (1 = monolithic; results are identical)",
+    )
+    p.add_argument(
+        "--shard-executor", default="serial",
+        choices=["serial", "thread", "process"],
+        help="how scatter-gather search fans out across shards "
+             "(process = memmap-attached workers; results are identical "
+             "for all three)",
     )
     p.set_defaults(func=_cmd_verify_batch)
 

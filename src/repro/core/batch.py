@@ -11,6 +11,15 @@ three scaling moves the serial loop cannot make:
   the inputs alone, so the reported dedup counters (and the ``dedup``
   span attribute) are deterministic regardless of which worker happens
   to execute a shared retrieval first;
+* **query-matrix retrieval** — with ``config.batch_matrix_retrieval``
+  (the default) the deduplicated queries of each modality are scored
+  as *one* query-matrix BM25 pass per index
+  (:meth:`VerifAI.retrieval_stages_batch`) that prefills the
+  retrieval cache before workers start; the matrix kernel is
+  bit-identical to the per-query path, and spans are always replayed
+  from the cached stage lists, so reports and traces cannot tell the
+  two apart.  A prefill fault falls back to per-object retrieval
+  under the normal error boundary;
 * **thread parallelism** — a ``ThreadPoolExecutor`` fans objects out to
   ``max_workers`` threads (1 = the serial path, the default).  Every
   shared structure the workers touch (verifier outcome cache, payload
@@ -87,6 +96,7 @@ class BatchStats:
     retries: int = 0
     unique_retrievals: int = 0
     retrieval_cache_hits: int = 0
+    matrix_batches: int = 0
     verifier_cache_hits: int = 0
     verifier_cache_entries: int = 0
     verifier_cache_size: int = 0
@@ -116,6 +126,7 @@ class BatchStats:
             retries=int(scope.value("batch.retries")),
             unique_retrievals=unique_retrievals,
             retrieval_cache_hits=retrieval_cache_hits,
+            matrix_batches=int(scope.value("batch.matrix_batches")),
             verifier_cache_hits=int(scope.value("verifier.cache.hits")),
             verifier_cache_entries=verifier_cache_entries,
             verifier_cache_size=verifier_cache_size,
@@ -140,7 +151,8 @@ class BatchStats:
             f"({stages}); "
             f"{self.failed} failed, {self.retries} retries; "
             f"{self.unique_retrievals} unique retrievals "
-            f"({self.retrieval_cache_hits} deduped); cache hits: "
+            f"({self.retrieval_cache_hits} deduped, "
+            f"{self.matrix_batches} matrix batches); cache hits: "
             f"{self.verifier_cache_hits} verifier, "
             f"{self.payload_cache_hits} payload, "
             f"{self.analyze_cache_hits} analyze"
@@ -266,6 +278,42 @@ class BatchEngine:
 
             retrieval_cache: Dict[tuple, _Stages] = {}
             cache_lock = threading.Lock()
+
+            # query-matrix prefill: score each modality's deduplicated
+            # campaign queries in one matrix pass and seed the cache, so
+            # workers only ever hit.  The kernel is bit-identical to the
+            # per-query path and spans are replayed from stage lists
+            # either way, so reports and traces are unchanged; a prefill
+            # fault just leaves the cache cold and the per-object error
+            # boundary tells the story as usual.
+            if system.config.batch_matrix_retrieval and plan_first:
+                by_modality: Dict[Modality, List[tuple]] = {}
+                for key in plan_first:  # insertion = input order
+                    by_modality.setdefault(key[2], []).append(key)
+                prefill_start = clock.now()
+                for modality, keys in by_modality.items():
+                    reps = [
+                        object_list[plan_first[key]] for key in keys
+                    ]
+                    try:
+                        stage_lists = system.retrieval_stages_batch(
+                            reps, modality, k_coarse, k_fine
+                        )
+                    except Exception:
+                        # leave this modality's cache cold: each object
+                        # retries its own retrieval inside the normal
+                        # per-object error boundary, which reports the
+                        # fault properly
+                        registry.counter(
+                            "batch.matrix_prefill_failures"
+                        ).inc()
+                        continue
+                    for key, stages in zip(keys, stage_lists):
+                        retrieval_cache[key] = stages
+                    registry.counter("batch.matrix_batches").inc()
+                registry.histogram("pipeline.retrieve_seconds").observe(
+                    clock.now() - prefill_start
+                )
 
             def replay_stage_spans(
                 branch, parent, stages: _Stages,

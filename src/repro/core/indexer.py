@@ -41,6 +41,7 @@ from repro.embed.chunker import chunk_document
 from repro.embed.vectorizers import HashingVectorizer
 from repro.index.base import SearchHit, SearchIndex
 from repro.index.combiner import Combiner, FusionMethod
+from repro.index.executor import validate_executor_mode
 from repro.index.inverted import InvertedIndex
 from repro.index.shard import (
     ShardedInvertedIndex,
@@ -97,6 +98,7 @@ class IndexerModule:
             raise ValueError(
                 f"num_shards must be >= 1, got {self.config.num_shards}"
             )
+        validate_executor_mode(self.config.shard_search_executor)
         self.clock: Clock = clock or MonotonicClock()
         self._content: Dict[Modality, SearchIndex] = {}
         self._semantic: Dict[Modality, SearchIndex] = {}
@@ -145,7 +147,9 @@ class IndexerModule:
     def _new_content_index(self, modality: Modality) -> SearchIndex:
         if self.config.num_shards > 1:
             return ShardedInvertedIndex(
-                self.config.num_shards, name=f"bm25-{modality.value}"
+                self.config.num_shards,
+                name=f"bm25-{modality.value}",
+                executor=self.config.shard_search_executor,
             )
         return InvertedIndex(name=f"bm25-{modality.value}")
 
@@ -158,6 +162,7 @@ class IndexerModule:
                 dim=self.config.embedding_dim,
                 encoder=self._vectorizer.transform,
                 name=f"vec-{modality.value}",
+                executor=self.config.shard_search_executor,
             )
         return FlatVectorIndex(
             dim=self.config.embedding_dim,
@@ -341,10 +346,14 @@ class IndexerModule:
         index entries — a table's tuples, a chunked document's chunks —
         are recomputed from it.  Content indexes tombstone and compact
         lazily on the next read; vector and payload-cache entries are
-        evicted eagerly.  A no-op before :meth:`build` (the next build
-        reads the already-mutated lake).
+        evicted eagerly.  Before :meth:`build` the indexes need nothing
+        (the next build reads the already-mutated lake), but the
+        payload cache predates the build and must still evict, or
+        :meth:`fetch_payload` keeps serving an instance the lake no
+        longer holds.
         """
         if not self._built:
+            self._evict_instance_payloads(instance)
             return
         if isinstance(instance, Table):
             self._remove_from_indexes(Modality.TABLE, instance)
@@ -363,8 +372,10 @@ class IndexerModule:
 
         Needs both versions: the old one names the entries to drop
         (its chunk/tuple ids may differ from the new one's), the new
-        one is what :meth:`DataLake.update_instance` registered.  A
-        no-op before :meth:`build`.
+        one is what :meth:`DataLake.update_instance` registered.
+        Before :meth:`build` only the payload cache needs work: the old
+        version's cached serializations are evicted so
+        :meth:`fetch_payload` re-serializes the new one.
         """
         if old.instance_id != new.instance_id:
             raise ValueError(
@@ -372,6 +383,7 @@ class IndexerModule:
                 f"{old.instance_id!r} != {new.instance_id!r}"
             )
         if not self._built:
+            self._evict_instance_payloads(old)
             return
         self.remove_instance(old)
         self.add_instance(new)
@@ -387,6 +399,14 @@ class IndexerModule:
             if semantic is not None:
                 semantic.remove(index_id)
         self._evict_payload(instance.instance_id)
+
+    def _evict_instance_payloads(self, instance: DataInstance) -> None:
+        """Evict every payload-cache entry an instance can be fetched
+        under: its own id, and — for tables — each row's tuple id."""
+        self._evict_payload(instance.instance_id)
+        if isinstance(instance, Table):
+            for row in instance.iter_rows():
+                self._evict_payload(row.instance_id)
 
     def _evict_payload(self, instance_id: str) -> None:
         """Drop one instance's cached serialization (coherence with
@@ -419,6 +439,38 @@ class IndexerModule:
             raw = self._combiners[modality].search(query, depth * 3)
             return _fold_chunks_to_documents(raw, depth)
         return self._combiners[modality].search(query, depth)
+
+    def search_batch(
+        self, queries: List[str], modality: Modality, k: Optional[int] = None
+    ) -> List[List[SearchHit]]:
+        """Coarse top-k for a whole query batch against one modality.
+
+        One query-matrix pass per underlying index scores every query
+        at once; fusion, chunk folding, and metrics then mirror
+        :meth:`search` per query, so the hit lists are identical to
+        ``[self.search(q, modality, k) for q in queries]`` — the batch
+        engine relies on that to swap this in transparently.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if not self._built:
+            self.build()
+        self._metrics.counter(f"indexer.search.{modality.value}").inc(
+            len(queries)
+        )
+        if self.config.num_shards > 1:
+            self._metrics.counter("indexer.shard.search.fanout").inc(
+                self.config.num_shards * len(queries)
+            )
+        depth = k if k is not None else self.config.k_coarse
+        combiner = self._combiners[modality]
+        if modality is Modality.TEXT and self.config.chunk_text:
+            raw_lists = combiner.search_batch(queries, depth * 3)
+            return [
+                _fold_chunks_to_documents(raw, depth) for raw in raw_lists
+            ]
+        return combiner.search_batch(queries, depth)
 
     def content_index(self, modality: Modality) -> SearchIndex:
         """Direct access to one modality's BM25 index (for ablations).

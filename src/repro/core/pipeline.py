@@ -226,6 +226,49 @@ class VerifAI:
             span.set("hits", len(hits))
         return [(f"coarse:{modality.value}", hits)]
 
+    def retrieval_stages_batch(
+        self,
+        objs: Sequence[DataObject],
+        modality: Modality,
+        k_coarse: Optional[int] = None,
+        k_fine: Optional[int] = None,
+    ) -> List[List[Tuple[str, List[SearchHit]]]]:
+        """Stage lists for many objects' retrievals against one
+        modality, scored as **one query-matrix pass** per index instead
+        of a per-object loop.
+
+        Returns one stage list per object, hit-for-hit identical to
+        ``[self.retrieval_stages(obj, modality, ...) for obj in objs]``
+        (the matrix kernel is differential-tested against the per-query
+        path).  Emits no spans — the batch engine replays spans from
+        the stage lists, so traces never depend on which path filled
+        the retrieval cache.  Reranking stays per-object (it is object-
+        specific by design), but it consumes the batched coarse lists.
+        """
+        objs = list(objs)
+        if not objs:
+            return []
+        queries = [obj.query_text() for obj in objs]
+        fine = k_fine if k_fine is not None else self.config.fine_k(modality)
+        if self.config.use_reranker:
+            coarse_lists = self.indexer.search_batch(
+                queries, modality, k_coarse
+            )
+            stage_lists = []
+            for obj, coarse in zip(objs, coarse_lists):
+                shortlist = self.reranker.rerank(
+                    obj, modality, coarse, self.indexer.fetch_payload, fine
+                )
+                stage_lists.append([
+                    (f"coarse:{modality.value}", coarse),
+                    (f"rerank:{modality.value}", shortlist),
+                ])
+            return stage_lists
+        hit_lists = self.indexer.search_batch(queries, modality, fine)
+        return [
+            [(f"coarse:{modality.value}", hits)] for hits in hit_lists
+        ]
+
     def retrieve(
         self,
         obj: DataObject,

@@ -50,6 +50,15 @@ class SearchIndex(abc.ABC):
         for instance_id, payload in entries.items():
             self.add(instance_id, payload)
 
+    def search_batch(self, queries: List[str], k: int = 10) -> List[List[SearchHit]]:
+        """Top-k hits for every query, one hit list per query.
+
+        The default is the per-query loop; vectorized indexes override
+        this with a batched kernel that must return hit-for-hit (ids
+        AND scores) identical results.
+        """
+        return [self.search(query, k) for query in queries]
+
 
 def top_k(scores: Dict[str, float], k: int, index_name: str = "") -> List[SearchHit]:
     """Materialize the k best (score, id) pairs as hits, deterministically.

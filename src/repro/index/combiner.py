@@ -65,6 +65,27 @@ class Combiner:
         rankings = [index.search(query, fan_out) for index in self.indexes]
         return self.fuse(rankings, k)
 
+    def search_batch(
+        self, queries: List[str], k: int = 10, per_index_k: int = 0
+    ) -> List[List[SearchHit]]:
+        """Batched :meth:`search`: each index scores the whole query
+        batch in one call (the query-matrix kernel where the index has
+        one), then each query's rankings fuse exactly as in the
+        per-query path — so results are hit-for-hit identical to
+        ``[self.search(q, k) for q in queries]``."""
+        queries = list(queries)
+        if not queries:
+            return []
+        fan_out = per_index_k or max(2 * k, k)
+        # [index][query] -> ranking
+        per_index = [
+            index.search_batch(queries, fan_out) for index in self.indexes
+        ]
+        return [
+            self.fuse([rankings[qi] for rankings in per_index], k)
+            for qi in range(len(queries))
+        ]
+
     def fuse(self, rankings: Iterable[Sequence[SearchHit]], k: int) -> List[SearchHit]:
         """Fuse pre-computed per-index rankings into a single top-k."""
         fused: Dict[str, float] = {}

@@ -1,0 +1,337 @@
+"""Scatter-gather execution strategies for sharded search.
+
+``ShardedInvertedIndex`` / ``ShardedVectorIndex`` fan a query batch out
+to every shard and merge the per-shard rankings.  *How* the fan-out
+runs is this module's concern, selected by
+``VerifAIConfig.shard_search_executor``:
+
+* ``serial`` — one shard after another on the calling thread.  The
+  default: zero coordination cost, and with the query-matrix kernel a
+  serial scatter already amortizes analysis + numpy dispatch across
+  the whole batch;
+* ``thread`` — a ``ThreadPoolExecutor`` over shards.  Cheap to enter,
+  but the scoring kernels hold the GIL for most of their runtime, so
+  threads mostly help when shards are large enough for numpy to
+  release the GIL meaningfully;
+* ``process`` — a shared ``ProcessPoolExecutor`` whose workers
+  **memmap-attach** the sealed shards from a spool directory
+  (:func:`repro.index.persistence.save_sealed_index`) and ship back
+  compact ``(doc index, score)`` arrays.  Nothing about the corpus is
+  pickled — workers read the flat arrays straight from the page cache
+  — which is what lets multi-core machines actually beat the serial
+  path instead of re-serializing the index per task.
+
+All three strategies call the same sealed scoring kernel on the same
+arrays, so their rankings are bit-identical; the differential suite
+(``make bench-quick``) asserts it.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+try:  # numpy underpins the sealed kernels the executors dispatch to
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None
+
+from repro.index.base import SearchHit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.index.inverted import InvertedIndex
+    from repro.index.vector import FlatVectorIndex
+
+#: the executor modes ``VerifAIConfig.shard_search_executor`` accepts
+EXECUTOR_MODES = ("serial", "thread", "process")
+
+#: per-shard rankings: [shard][query] -> hit list
+ShardRankings = List[List[List[SearchHit]]]
+
+
+def validate_executor_mode(mode: str) -> str:
+    if mode not in EXECUTOR_MODES:
+        raise ValueError(
+            f"shard_search_executor must be one of {EXECUTOR_MODES}, "
+            f"got {mode!r}"
+        )
+    return mode
+
+
+# ---------------------------------------------------------------------------
+# worker-process side
+# ---------------------------------------------------------------------------
+#: per-process cache of memmap-attached shards, keyed by snapshot dir —
+#: a worker attaches each shard once and reuses it across tasks
+_ATTACHED: Dict[str, "InvertedIndex"] = {}
+
+
+def _attached_shard(shard_dir: str) -> "InvertedIndex":
+    index = _ATTACHED.get(shard_dir)
+    if index is None:
+        from repro.index.persistence import attach_sealed_index
+
+        index = attach_sealed_index(shard_dir)
+        _ATTACHED[shard_dir] = index
+    return index
+
+
+def _search_shard_worker(
+    shard_dir: str, queries: List[str], k: int
+) -> List[Tuple["np.ndarray", "np.ndarray"]]:
+    """Run the query-matrix kernel against one memmap-attached shard.
+
+    Returns one compact ``(doc index array, score array)`` pair per
+    query; the parent maps indexes back to ids through its own copy of
+    the shard's ``doc_ids`` (identical order — it wrote the snapshot).
+    """
+    index = _attached_shard(shard_dir)
+    return index.search_matrix_arrays(queries, k)
+
+
+#: per-process cache of memmap-attached vector shards
+_ATTACHED_VECTORS: Dict[str, "FlatVectorIndex"] = {}
+
+
+def _attached_vector_shard(shard_dir: str) -> "FlatVectorIndex":
+    index = _ATTACHED_VECTORS.get(shard_dir)
+    if index is None:
+        from repro.index.persistence import attach_vector_index
+
+        index = attach_vector_index(shard_dir)
+        _ATTACHED_VECTORS[shard_dir] = index
+    return index
+
+
+def _search_vector_shard_worker(
+    shard_dir: str, vectors: List["np.ndarray"], k: int
+) -> List[List[Tuple[float, str]]]:
+    """Score pre-encoded query vectors against one memmap-attached
+    vector shard (the encoder stays in the parent — workers only ever
+    see dense float64 vectors)."""
+    index = _attached_vector_shard(shard_dir)
+    return [
+        [(hit.score, hit.instance_id) for hit in index.search_vector(v, k)]
+        for v in vectors
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the shared process pool
+# ---------------------------------------------------------------------------
+#: one-slot holder for the lazily created pool (registry convention:
+#: written once from the first searching thread, then read-only)
+_POOL: Dict[str, ProcessPoolExecutor] = {}
+
+
+def _shutdown_pool() -> None:
+    pool = _POOL.pop("pool", None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shared_process_pool() -> ProcessPoolExecutor:
+    """The lazily created process pool all sharded indexes share.
+
+    One pool per process (workers are stateless apart from their
+    attach cache, so shards of different logical indexes can share
+    it); ``fork`` start method where the platform offers it — workers
+    then skip re-importing the world — falling back to the platform
+    default elsewhere.
+    """
+    pool = _POOL.get("pool")
+    if pool is None:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        pool = ProcessPoolExecutor(
+            max_workers=max(os.cpu_count() or 1, 1),
+            mp_context=context,
+        )
+        _POOL["pool"] = pool
+        atexit.register(_shutdown_pool)
+    return pool
+
+
+# ---------------------------------------------------------------------------
+# spool management (parent side)
+# ---------------------------------------------------------------------------
+class ShardSpool:
+    """The on-disk sealed snapshots process workers attach.
+
+    Owned by a sharded index; (re)written lazily on the first
+    process-mode search after a mutation, and removed at interpreter
+    exit.  The spool is the hand-off point between the writable parent
+    index and its read-only worker attachments.
+    """
+
+    def __init__(self, prefix: str = "repro-shards-") -> None:
+        self._prefix = prefix
+        self._dir: Optional[str] = None
+        self._shard_dirs: List[str] = []
+
+    @property
+    def shard_dirs(self) -> List[str]:
+        return list(self._shard_dirs)
+
+    def ensure(self, shards: Sequence, save) -> List[str]:
+        """Persist every shard once via ``save(shard, target_dir)``;
+        idempotent until :meth:`invalidate`."""
+        if self._dir is None:
+            spool_dir = tempfile.mkdtemp(prefix=self._prefix)
+            shard_dirs = []
+            for shard_no, shard in enumerate(shards):
+                target = os.path.join(spool_dir, f"shard-{shard_no:04d}")
+                save(shard, target)
+                shard_dirs.append(target)
+            self._dir = spool_dir
+            self._shard_dirs = shard_dirs
+            atexit.register(self.invalidate)
+        return list(self._shard_dirs)
+
+    def invalidate(self) -> None:
+        """Drop the spool (the next process search re-persists)."""
+        if self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+            self._dir = None
+            self._shard_dirs = []
+
+
+# ---------------------------------------------------------------------------
+# the three strategies
+# ---------------------------------------------------------------------------
+def _hits_from_arrays(
+    shard: "InvertedIndex",
+    per_query: List[Tuple["np.ndarray", "np.ndarray"]],
+) -> List[List[SearchHit]]:
+    """Compact worker arrays back to hits via the parent's doc table."""
+    doc_ids = shard._sealed.doc_ids
+    name = shard.name
+    return [
+        [
+            SearchHit(
+                score=float(score),
+                instance_id=doc_ids[int(i)],
+                index_name=name,
+            )
+            for i, score in zip(idx, scores)
+        ]
+        for idx, scores in per_query
+    ]
+
+
+def scatter_serial(
+    shards: Sequence["InvertedIndex"], queries: List[str], k: int
+) -> ShardRankings:
+    if len(queries) == 1:
+        # let each shard take its single-query fast path
+        return [shard.search_batch(queries, k) for shard in shards]
+    # every shard shares the analyzer settings, so the campaign plan —
+    # analysis + inversion of the query batch — is computed once and
+    # scored against each shard instead of being rebuilt per shard
+    plan = shards[0].plan_matrix(queries)
+    return [shard.search_matrix_planned(plan, k) for shard in shards]
+
+
+def scatter_threads(
+    shards: Sequence["InvertedIndex"], queries: List[str], k: int
+) -> ShardRankings:
+    if len(queries) == 1:
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            return list(
+                pool.map(lambda shard: shard.search_batch(queries, k), shards)
+            )
+    plan = shards[0].plan_matrix(queries)  # shared: see scatter_serial
+    with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+        return list(
+            pool.map(
+                lambda shard: shard.search_matrix_planned(plan, k), shards
+            )
+        )
+
+
+def scatter_processes(
+    shards: Sequence["InvertedIndex"],
+    spool: ShardSpool,
+    queries: List[str],
+    k: int,
+) -> ShardRankings:
+    """Fan the query batch out to memmap-attached worker processes.
+
+    Shards must be sealed (the spool persists their sealed form); the
+    parent only ships query strings + k and receives ``(idx, score)``
+    arrays back — the corpus itself never crosses the pipe.
+    """
+    from repro.index.persistence import save_sealed_index
+
+    shard_dirs = spool.ensure(shards, save_sealed_index)
+    pool = shared_process_pool()
+    futures = [
+        pool.submit(_search_shard_worker, shard_dir, queries, k)
+        for shard_dir in shard_dirs
+    ]
+    return [
+        _hits_from_arrays(shard, future.result())
+        for shard, future in zip(shards, futures)
+    ]
+
+
+def scatter_serial_vectors(
+    shards: Sequence["FlatVectorIndex"], vectors: List["np.ndarray"], k: int
+) -> ShardRankings:
+    return [
+        [shard.search_vector(vector, k) for vector in vectors]
+        for shard in shards
+    ]
+
+
+def scatter_threads_vectors(
+    shards: Sequence["FlatVectorIndex"], vectors: List["np.ndarray"], k: int
+) -> ShardRankings:
+    with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+        return list(
+            pool.map(
+                lambda shard: [
+                    shard.search_vector(vector, k) for vector in vectors
+                ],
+                shards,
+            )
+        )
+
+
+def scatter_processes_vectors(
+    shards: Sequence["FlatVectorIndex"],
+    spool: ShardSpool,
+    vectors: List["np.ndarray"],
+    k: int,
+) -> ShardRankings:
+    """Process fan-out for vector shards: workers memmap-attach the
+    persisted matrices and score pre-encoded vectors; scoring runs the
+    same gemv on the same float64 rows, so results are bit-identical
+    to the in-process path."""
+    from repro.index.persistence import save_vector_index
+
+    shard_dirs = spool.ensure(shards, save_vector_index)
+    pool = shared_process_pool()
+    futures = [
+        pool.submit(_search_vector_shard_worker, shard_dir, vectors, k)
+        for shard_dir in shard_dirs
+    ]
+    return [
+        [
+            [
+                SearchHit(
+                    score=score, instance_id=instance_id, index_name=shard.name
+                )
+                for score, instance_id in per_query
+            ]
+            for per_query in future.result()
+        ]
+        for shard, future in zip(shards, futures)
+    ]

@@ -29,6 +29,12 @@ Two properties make that exact rather than approximate:
 Mutation propagates: removing or updating an instance in one shard
 invalidates *every* shard's sealed read form (global statistics
 changed), and the next search lazily compacts and re-seals.
+
+How the scatter *runs* — serial loop, thread pool, or a process pool
+whose workers memmap-attach sealed shard snapshots — is selected per
+index by ``executor=`` (see :mod:`repro.index.executor`).  All three
+strategies call the same sealed kernels on the same arrays, so the
+choice affects wall-clock only, never a single hit or score.
 """
 
 from __future__ import annotations
@@ -41,7 +47,9 @@ try:  # numpy powers the vector shards; BM25 shards degrade to dicts
 except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None
 
+from repro.index import executor as shard_executor
 from repro.index.base import SearchHit, SearchIndex
+from repro.index.executor import ShardSpool, validate_executor_mode
 from repro.index.inverted import CorpusStats, InvertedIndex
 from repro.index.vector import FlatVectorIndex
 
@@ -144,12 +152,15 @@ class ShardedInvertedIndex(SearchIndex):
         remove_stopwords: bool = True,
         stemming: bool = True,
         auto_seal: bool = True,
+        executor: str = "serial",
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.name = name
         self.num_shards = num_shards
         self.auto_seal = auto_seal and np is not None
+        self.search_executor = validate_executor_mode(executor)
+        self._spool = ShardSpool(prefix=f"repro-{name}-")
         self.shards: List[InvertedIndex] = [
             InvertedIndex(
                 name=f"{name}/s{i}",
@@ -172,9 +183,11 @@ class ShardedInvertedIndex(SearchIndex):
 
     def _invalidate_seals(self) -> None:
         """Global statistics changed: every shard's compiled form is
-        stale, not just the mutated one's."""
+        stale, not just the mutated one's — and so is the persisted
+        spool process workers attach."""
         for shard in self.shards:
             shard.invalidate_seal()
+        self._spool.invalidate()
 
     # -- writes ---------------------------------------------------------
     def add(self, instance_id: str, payload: str) -> None:
@@ -194,8 +207,37 @@ class ShardedInvertedIndex(SearchIndex):
     # -- reads ----------------------------------------------------------
     def search(self, query: str, k: int = 10) -> List[SearchHit]:
         """Scatter the query to every shard, gather-merge the top-k."""
-        rankings = [shard.search(query, k) for shard in self.shards]
-        return merge_shard_hits(rankings, k, self.name)
+        return self.search_batch([query], k)[0]
+
+    def search_batch(
+        self, queries: List[str], k: int = 10
+    ) -> List[List[SearchHit]]:
+        """Scatter a whole query batch to every shard, gather-merge.
+
+        Each shard scores the batch with the query-matrix kernel
+        (:meth:`InvertedIndex.search_matrix`); the fan-out strategy is
+        :attr:`search_executor` (``serial`` / ``thread`` / ``process``)
+        and never changes a hit or a score.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        mode = self.search_executor
+        if mode == "process" and np is not None:
+            rankings = shard_executor.scatter_processes(
+                self.shards, self._spool, queries, k
+            )
+        elif mode == "thread":
+            rankings = shard_executor.scatter_threads(self.shards, queries, k)
+        else:
+            rankings = shard_executor.scatter_serial(self.shards, queries, k)
+        # rankings is [shard][query]; merge per query across shards
+        return [
+            merge_shard_hits(
+                [per_shard[qi] for per_shard in rankings], k, self.name
+            )
+            for qi in range(len(queries))
+        ]
 
     def seal(self) -> "ShardedInvertedIndex":
         """Compact and compile every shard's read form."""
@@ -238,6 +280,7 @@ class ShardedVectorIndex(SearchIndex):
         encoder: Optional[Callable[[str], "np.ndarray"]] = None,
         metric: str = "cosine",
         name: str = "vec-sharded",
+        executor: str = "serial",
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -245,6 +288,8 @@ class ShardedVectorIndex(SearchIndex):
         self.num_shards = num_shards
         self.dim = dim
         self._encoder = encoder
+        self.search_executor = validate_executor_mode(executor)
+        self._spool = ShardSpool(prefix=f"repro-{name}-")
         self.shards: List[FlatVectorIndex] = [
             FlatVectorIndex(
                 dim=dim, encoder=encoder, metric=metric, name=f"{name}/s{i}"
@@ -258,20 +303,56 @@ class ShardedVectorIndex(SearchIndex):
 
     def add(self, instance_id: str, payload: str) -> None:
         self.shard_for(instance_id).add(instance_id, payload)
+        self._spool.invalidate()
 
     def remove(self, instance_id: str) -> None:
         """Evict one vector (KeyError when absent)."""
         self.shard_for(instance_id).remove(instance_id)
+        self._spool.invalidate()
 
     def search(self, query: str, k: int = 10) -> List[SearchHit]:
+        return self.search_batch([query], k)[0]
+
+    def search_batch(
+        self, queries: List[str], k: int = 10
+    ) -> List[List[SearchHit]]:
+        """Encode the batch once, scatter the vectors to every shard.
+
+        The fan-out strategy is :attr:`search_executor`; the encoder
+        always runs in the parent process (worker processes only ever
+        see dense vectors).
+        """
         if self._encoder is None:
             raise RuntimeError(
                 f"{type(self).__name__} has no encoder; construct with "
                 "encoder= to search by string"
             )
-        vector = np.asarray(self._encoder(query), dtype=np.float64)
-        rankings = [shard.search_vector(vector, k) for shard in self.shards]
-        return merge_shard_hits(rankings, k, self.name)
+        queries = list(queries)
+        if not queries:
+            return []
+        vectors = [
+            np.asarray(self._encoder(query), dtype=np.float64)
+            for query in queries
+        ]
+        mode = self.search_executor
+        if mode == "process":
+            rankings = shard_executor.scatter_processes_vectors(
+                self.shards, self._spool, vectors, k
+            )
+        elif mode == "thread":
+            rankings = shard_executor.scatter_threads_vectors(
+                self.shards, vectors, k
+            )
+        else:
+            rankings = shard_executor.scatter_serial_vectors(
+                self.shards, vectors, k
+            )
+        return [
+            merge_shard_hits(
+                [per_shard[qi] for per_shard in rankings], k, self.name
+            )
+            for qi in range(len(queries))
+        ]
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)

@@ -454,3 +454,85 @@ def test_obs001_quiet_on_injected_clock():
         "def timed(clock):\n    return clock.now()\n", "OBS001"
     )
     assert_quiet("import time\ntime.sleep(0.1)\n", "OBS001")
+
+
+# ----------------------------------------------------------------------
+# performance
+# ----------------------------------------------------------------------
+_INDEX_PATH = "src/repro/index/somekernel.py"
+
+
+def test_perf001_fires_on_sealed_array_loop_in_index_package():
+    assert_fires(
+        """
+        def slow(sealed):
+            total = 0.0
+            for tf in sealed.tf_flat:
+                total += tf
+            return total
+        """,
+        "PERF001", path=_INDEX_PATH,
+    )
+
+
+def test_perf001_fires_on_foreign_postings_iteration():
+    assert_fires(
+        """
+        def walk(index):
+            return [token for token in index._postings]
+        """,
+        "PERF001", path=_INDEX_PATH,
+    )
+    assert_fires(
+        """
+        def walk(index):
+            out = {}
+            for token, entry in index._postings.items():
+                out[token] = len(entry)
+            return out
+        """,
+        "PERF001", path=_INDEX_PATH,
+    )
+
+
+def test_perf001_quiet_on_own_postings_and_vectorized_reads():
+    # an index may walk its own write-path dict (compact/seal do)
+    assert_quiet(
+        """
+        def compact(self):
+            for token, entry in self._postings.items():
+                entry.clear()
+        """,
+        "PERF001", path=_INDEX_PATH,
+    )
+    # numpy slicing of the sealed arrays is the intended fast path
+    assert_quiet(
+        """
+        def kernel(sealed, start, end):
+            return sealed.tf_flat[start:end] * 2.0
+        """,
+        "PERF001", path=_INDEX_PATH,
+    )
+
+
+def test_perf001_scoped_to_index_package():
+    source = """
+    def slow(sealed):
+        return [tf for tf in sealed.tf_flat]
+    """
+    assert_quiet(source, "PERF001")
+    assert_quiet(source, "PERF001", path="src/repro/core/batch.py")
+    assert_fires(source, "PERF001", path=_INDEX_PATH)
+
+
+def test_perf001_pragma_silences_the_snapshot_loop():
+    assert_quiet(
+        """
+        def snapshot(index):
+            return {  # repro-lint: disable=PERF001
+                token: dict(entry)
+                for token, entry in index._postings.items()
+            }
+        """,
+        "PERF001", path=_INDEX_PATH,
+    )

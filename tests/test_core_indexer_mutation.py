@@ -237,6 +237,36 @@ class TestPayloadCacheCoherence:
         system.update_instance(new)
         assert system.indexer.fetch_payload(row_id) != stale
 
+    def test_unbuilt_update_still_evicts_cached_payload(self):
+        """Regression: eviction used to be skipped entirely when the
+        indexes weren't built yet, so a fetch_payload() before build()
+        could pin a stale payload across an update forever."""
+        lake = build_lake(LakeConfig(num_tables=8, seed=47)).lake
+        indexer = IndexerModule(lake, VerifAIConfig())  # never built
+        doc = lake.documents()[0]
+        stale = indexer.fetch_payload(doc.doc_id)
+        new = TextDocument(
+            doc_id=doc.doc_id, title=doc.title,
+            text=doc.text + " rewritten before any index existed",
+            source=doc.source, entity=doc.entity,
+        )
+        lake.update_instance(new)
+        indexer.update_instance(doc, new)
+        fetched = indexer.fetch_payload(doc.doc_id)
+        assert fetched != stale
+        assert fetched == serialize_instance(new)
+
+    def test_unbuilt_remove_evicts_table_row_payloads(self):
+        lake = build_lake(LakeConfig(num_tables=8, seed=48)).lake
+        indexer = IndexerModule(lake, VerifAIConfig())  # never built
+        table = lake.tables()[0]
+        row_id = f"{table.table_id}#r0"
+        indexer.fetch_payload(row_id)  # cache a row of the table
+        lake.remove_instance(table.table_id)
+        indexer.remove_instance(table)
+        with pytest.raises(KeyError):
+            indexer.fetch_payload(row_id)
+
     def test_hit_counters_still_work(self):
         lake = build_lake(LakeConfig(num_tables=6, seed=46)).lake
         indexer = IndexerModule(lake, VerifAIConfig()).build()

@@ -1,0 +1,193 @@
+"""Differential proof of the query-matrix BM25 kernel.
+
+The contract under test (src/repro/index/inverted.py): scoring a whole
+campaign of queries against a sealed shard in one vectorized pass
+(``search_matrix`` / ``search_batch``) returns, query for query, the
+bit-identical ``(instance_id, score)`` rankings of the per-query paths
+— the sealed single-query kernel AND the original dict walk.  Equality
+is exact float64 equality, never approx: both paths accumulate
+contributions in the same canonical sorted-token order, so IEEE
+addition order matches and the scores agree to the last bit.
+"""
+
+import pytest
+
+from repro.core.config import VerifAIConfig
+from repro.core.indexer import IndexerModule
+from repro.datalake.types import Modality
+from repro.index.inverted import InvertedIndex
+from repro.index.shard import ShardedInvertedIndex
+
+SHARD_COUNTS = [1, 2, 4]
+
+QUERIES = [
+    "largest cities by population",
+    "points per game shooting guard",
+    "gold silver bronze medal total",
+    "season player statistics games",
+    "eastern province area",
+    "summer games delegation",
+]
+
+MODALITIES = [Modality.TUPLE, Modality.TABLE, Modality.TEXT]
+
+DOCS = [
+    ("d1", "the quick brown fox jumps over the lazy dog"),
+    ("d2", "a quick brown dog barks at the fox"),
+    ("d3", "lazy afternoons in the brown meadow"),
+    ("d4", "the fox and the hound are friends"),
+    ("d5", "dogs and foxes share the meadow at dusk"),
+    ("d6", "quick reflexes help the hound catch nothing"),
+    ("d7", "the meadow fox naps while the dog watches"),
+    ("d8", "hounds bark and foxes listen at dusk"),
+]
+
+MICRO_QUERIES = [
+    "quick brown fox",
+    "lazy meadow",
+    "hound dusk",
+    "dog dog dog",  # repeated query term exercises the qtf weight
+    "",  # empty query
+    "absent tokens only here",
+    "quick brown fox",  # duplicate of an earlier query (dedup-free path)
+]
+
+
+def pairs(hits):
+    return [(h.instance_id, h.score) for h in hits]
+
+
+def build_index():
+    index = InvertedIndex(name="micro")
+    for doc_id, text in DOCS:
+        index.add(doc_id, text)
+    return index
+
+
+# ---------------------------------------------------------------------------
+# the kernel itself, on a single index
+# ---------------------------------------------------------------------------
+class TestMatrixKernel:
+    def test_matrix_matches_sealed_and_dict_paths_bitwise(self):
+        index = build_index()
+        expected_dict = [
+            pairs(index.search_dict(q, 5)) for q in MICRO_QUERIES
+        ]
+        index.seal()
+        expected_sealed = [pairs(index.search(q, 5)) for q in MICRO_QUERIES]
+        got = [pairs(hits) for hits in index.search_matrix(MICRO_QUERIES, 5)]
+        assert got == expected_sealed
+        assert got == expected_dict
+
+    def test_matrix_seals_an_unsealed_index(self):
+        index = build_index()
+        assert not index.is_sealed
+        got = [pairs(h) for h in index.search_matrix(MICRO_QUERIES, 5)]
+        assert index.is_sealed
+        assert got == [pairs(index.search(q, 5)) for q in MICRO_QUERIES]
+
+    def test_matrix_empty_campaign(self):
+        assert build_index().search_matrix([], 5) == []
+
+    def test_matrix_k_edge_cases(self):
+        index = build_index()
+        for k in (0, 1, len(DOCS), 10 * len(DOCS)):
+            got = [pairs(h) for h in index.search_matrix(MICRO_QUERIES, k)]
+            assert got == [
+                pairs(index.search(q, k)) for q in MICRO_QUERIES
+            ]
+
+    def test_matrix_after_mutation_reseals_correctly(self):
+        index = build_index()
+        index.search_matrix(MICRO_QUERIES, 5)  # seals
+        index.remove("d1")
+        index.update("d3", "sunny mornings in the green meadow")
+        got = [pairs(h) for h in index.search_matrix(MICRO_QUERIES, 5)]
+        oracle = InvertedIndex(name="micro")
+        for doc_id, text in DOCS:
+            if doc_id == "d1":
+                continue
+            if doc_id == "d3":
+                text = "sunny mornings in the green meadow"
+            oracle.add(doc_id, text)
+        assert got == [pairs(oracle.search(q, 5)) for q in MICRO_QUERIES]
+
+
+# ---------------------------------------------------------------------------
+# sharded scatter-gather over the matrix kernel
+# ---------------------------------------------------------------------------
+class TestShardedBatch:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_search_batch_matches_per_query(self, num_shards):
+        sharded = ShardedInvertedIndex(num_shards, name="micro")
+        for doc_id, text in DOCS:
+            sharded.add(doc_id, text)
+        per_query = [pairs(sharded.search(q, 6)) for q in MICRO_QUERIES]
+        batched = [
+            pairs(h) for h in sharded.search_batch(MICRO_QUERIES, 6)
+        ]
+        assert batched == per_query
+
+    def test_search_batch_empty(self):
+        sharded = ShardedInvertedIndex(2, name="micro")
+        assert sharded.search_batch([], 5) == []
+
+
+# ---------------------------------------------------------------------------
+# the full indexer surface: every modality, every retrieval path
+# ---------------------------------------------------------------------------
+class TestIndexerBatch:
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    def test_all_modalities_identical(self, small_bundle, num_shards):
+        indexer = IndexerModule(
+            small_bundle.lake, VerifAIConfig(num_shards=num_shards)
+        ).build()
+        for modality in MODALITIES:
+            per_query = [
+                pairs(indexer.search(q, modality, 10)) for q in QUERIES
+            ]
+            batched = [
+                pairs(h)
+                for h in indexer.search_batch(QUERIES, modality, 10)
+            ]
+            assert batched == per_query, (
+                f"shards={num_shards} {modality.value}"
+            )
+            assert any(per_query), (
+                f"vacuous comparison: {modality.value} matched nothing"
+            )
+
+    def test_semantic_fusion_batch_identical(self, small_bundle):
+        indexer = IndexerModule(
+            small_bundle.lake,
+            VerifAIConfig(use_semantic_index=True, num_shards=2),
+        ).build()
+        for modality in MODALITIES:
+            assert [
+                pairs(h)
+                for h in indexer.search_batch(QUERIES[:4], modality, 10)
+            ] == [
+                pairs(indexer.search(q, modality, 10)) for q in QUERIES[:4]
+            ]
+
+    def test_chunked_text_fold_batch_identical(self, small_bundle):
+        indexer = IndexerModule(
+            small_bundle.lake,
+            VerifAIConfig(chunk_text=True, chunk_max_tokens=24, num_shards=2),
+        ).build()
+        assert [
+            pairs(h)
+            for h in indexer.search_batch(QUERIES, Modality.TEXT, 10)
+        ] == [pairs(indexer.search(q, Modality.TEXT, 10)) for q in QUERIES]
+
+    def test_batch_after_live_mutation_identical(self, small_bundle):
+        indexer = IndexerModule(
+            small_bundle.lake, VerifAIConfig(num_shards=2)
+        ).build()
+        indexer.search_batch(QUERIES, Modality.TUPLE, 10)  # warm/seal
+        victim = small_bundle.tables[0]
+        indexer.remove_instance(victim)
+        assert [
+            pairs(h)
+            for h in indexer.search_batch(QUERIES, Modality.TABLE, 10)
+        ] == [pairs(indexer.search(q, Modality.TABLE, 10)) for q in QUERIES]
