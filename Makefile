@@ -1,15 +1,16 @@
 # Convenience targets for the VerifAI reproduction.
 
-.PHONY: install check test test-faults test-obs test-shard trace-demo bench bench-quick bench-batch bench-shard bench-paper experiments examples lint lint-json
+.PHONY: install check test test-faults test-obs test-shard trace-demo bench bench-quick bench-batch bench-shard bench-paper experiments examples lint lint-json sanitize
 
 install:
 	pip install -e . --no-build-isolation
 
 # the default CI gate: static analysis first, then the test suite
 # (which includes the observability smoke below), the sharding/churn
-# differential suite with its slow soak, and the timing-free
-# differential proofs behind the benchmark claims
-check: lint test-obs test test-shard bench-quick
+# differential suite with its slow soak, the timing-free differential
+# proofs behind the benchmark claims, and the concurrency suites under
+# the lockset race sanitizer
+check: lint test-obs test test-shard bench-quick sanitize
 
 # tests/ includes tests/test_batch_faults.py, the fault-isolation suite
 # for verification campaigns (poisoned objects, retries, fail_fast, and
@@ -47,6 +48,13 @@ lint:
 
 lint-json:
 	PYTHONPATH=src python -m repro.cli lint --json --baseline lint_baseline.json src/repro
+
+# the three concurrency suites under the Eraser-style lockset race
+# sanitizer (see docs/static_analysis.md); exit status 3 = races found
+sanitize:
+	PYTHONPATH=src python -m repro.cli sanitize -- -q \
+		tests/test_batch_faults.py tests/test_index_executor.py \
+		tests/test_index_churn.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -7,17 +7,35 @@ docs/static_analysis.md for the rule catalogue.
 """
 
 from repro.analysis.baseline import Baseline, fingerprint
-from repro.analysis.linter import Finding, Linter, Rule, all_rules, register
+from repro.analysis.linter import (
+    Finding,
+    Linter,
+    LintRun,
+    ParseCache,
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    known_rule_ids,
+    register,
+    register_project,
+)
 from repro.analysis.report import render_json, render_text
 
 __all__ = [
     "Baseline",
     "Finding",
+    "LintRun",
     "Linter",
+    "ParseCache",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
     "fingerprint",
+    "known_rule_ids",
     "register",
+    "register_project",
     "render_json",
     "render_text",
 ]

@@ -7,6 +7,13 @@ snippet)`` — not line numbers — so unrelated edits above a finding do
 not invalidate the baseline.  Each entry carries a count: two identical
 offending lines in one file need a count of 2, and fixing one of them
 makes the other still-suppressed.
+
+Format **v2** (whole-program era) additionally records the rule
+universe the baseline was written against (``rules``), so a baseline
+whose entries reference rules that no longer exist is detectable by
+:meth:`Baseline.stale_rules` instead of silently suppressing nothing.
+v1 files (no ``rules`` key) still load; rewriting with
+``--write-baseline`` migrates them.
 """
 
 from __future__ import annotations
@@ -31,11 +38,24 @@ def fingerprint(finding: Finding) -> Tuple[str, str, str]:
 class Baseline:
     """A multiset of grandfathered finding fingerprints."""
 
-    def __init__(self, entries: Sequence[dict] = ()) -> None:
+    def __init__(
+        self,
+        entries: Sequence[dict] = (),
+        rules: Sequence[str] = (),
+    ) -> None:
         self._counts: Counter = Counter()
         self._entries: List[dict] = []
+        #: rule universe recorded at write time (v2; empty for v1 files)
+        self.rules: List[str] = sorted(rules)
         for entry in entries:
             self._add(entry)
+
+    def stale_rules(self, known_rule_ids: Sequence[str]) -> List[str]:
+        """Rule ids referenced by entries but absent from the running
+        rule set — a baseline that can only rot, surfaced explicitly."""
+        known = set(known_rule_ids)
+        referenced = {entry["rule"] for entry in self._entries}
+        return sorted(referenced - known)
 
     def _add(self, entry: dict) -> None:
         key = (entry["rule"], entry["path"], entry["snippet"])
@@ -65,7 +85,11 @@ class Baseline:
     # persistence
     # ------------------------------------------------------------------
     @classmethod
-    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+    def from_findings(
+        cls,
+        findings: Sequence[Finding],
+        rules: Sequence[str] = (),
+    ) -> "Baseline":
         """Baseline that suppresses exactly ``findings``."""
         counts: Counter = Counter(fingerprint(f) for f in findings)
         reasons: Dict[Tuple[str, str, str], str] = {}
@@ -81,16 +105,23 @@ class Baseline:
             }
             for (rule, path, snippet), count in sorted(counts.items())
         ]
-        return cls(entries)
+        return cls(entries, rules=rules)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Load a v1 or v2 baseline file (v1 has no ``rules`` key)."""
         with Path(path).open("r", encoding="utf-8") as handle:
             payload = json.load(handle)
-        return cls(payload.get("entries", []))
+        return cls(
+            payload.get("entries", []), rules=payload.get("rules", [])
+        )
 
     def save(self, path: Union[str, Path]) -> None:
-        payload = {"version": 1, "entries": self._entries}
+        payload = {
+            "version": 2,
+            "rules": self.rules,
+            "entries": self._entries,
+        }
         Path(path).write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",

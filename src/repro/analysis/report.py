@@ -8,9 +8,9 @@ diff two runs byte-for-byte.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.linter import Finding, Rule
+from repro.analysis.linter import Finding, LintRun, Rule
 
 
 def render_text(
@@ -47,12 +47,26 @@ def render_json(
     findings: Sequence[Finding],
     rules: Sequence[Rule] = (),
     suppressed: int = 0,
+    run: Optional[LintRun] = None,
 ) -> str:
-    """Machine-readable report for CI diffing."""
+    """Machine-readable report for CI diffing.
+
+    Byte-stable by construction: sorted keys, sorted findings, no
+    wall-clock and no absolute paths.  The ``cache`` block reports the
+    parse cache's hit/miss counters when a :class:`LintRun` is given;
+    with the cache disabled (the CI default) it is all zeros, so two
+    consecutive runs stay byte-identical.
+    """
     payload = {
-        "version": 1,
+        "version": 2,
         "count": len(findings),
         "suppressed": suppressed,
+        "cache": {
+            "enabled": run is not None and (run.cache_hits + run.cache_misses) > 0,
+            "hits": run.cache_hits if run is not None else 0,
+            "misses": run.cache_misses if run is not None else 0,
+        },
+        "files": run.files if run is not None else 0,
         "rules": [
             {
                 "id": rule.rule_id,

@@ -4,6 +4,8 @@ from repro.analysis.rules import (
     concurrency,
     contracts,
     determinism,
+    interprocedural,
+    meta,
     observability,
     performance,
 )
@@ -12,6 +14,8 @@ __all__ = [
     "concurrency",
     "contracts",
     "determinism",
+    "interprocedural",
+    "meta",
     "observability",
     "performance",
 ]

@@ -12,7 +12,9 @@ Subcommands::
     repro trace       out.json [--json]
     repro discover    --lake lake.json --query "..." [--modality text]
     repro experiment  --name table1 [--scale small]
-    repro lint        [--json] [--baseline lint_baseline.json] [paths...]
+    repro lint        [--json] [--baseline lint_baseline.json]
+                      [--changed] [--cache] [paths...]
+    repro sanitize    -- [pytest args...]
 
 Installed as ``python -m repro.cli`` (no console-script entry point to
 keep the package dependency-free).
@@ -173,10 +175,45 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_paths(root) -> Optional[set]:
+    """Repo-relative ``.py`` paths touched per git (staged, unstaged,
+    and untracked); None when git is unavailable."""
+    import subprocess
+
+    changed: set = set()
+    ran_any = False
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            result = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError):
+            continue
+        ran_any = True
+        changed.update(
+            line.strip()
+            for line in result.stdout.splitlines()
+            if line.strip()
+        )
+    if not ran_any:
+        return None
+    return {p for p in changed if p.endswith(".py")}
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.analysis import Baseline, Linter, render_json, render_text
+    from repro.analysis import (
+        Baseline,
+        Linter,
+        ParseCache,
+        known_rule_ids,
+        render_json,
+        render_text,
+    )
 
     linter = Linter()
     root = Path(args.root) if args.root else Path.cwd()
@@ -185,10 +222,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if missing:
         print(f"repro-lint: no such path(s): {', '.join(map(str, missing))}")
         return 2
-    findings = linter.lint_paths(paths, root=root)
+    cache = None
+    if args.cache:
+        cache = ParseCache(Path(args.cache_file), linter.cache_signature())
+    changed = None
+    if args.changed:
+        changed = _changed_paths(root)
+        if changed is None:
+            print(
+                "repro-lint: --changed needs git; linting everything",
+                file=sys.stderr,
+            )
+    run = linter.run_paths(paths, root=root, cache=cache, changed=changed)
+    findings = run.findings
 
     if args.write_baseline:
-        Baseline.from_findings(findings).save(args.write_baseline)
+        Baseline.from_findings(findings, rules=known_rule_ids()).save(
+            args.write_baseline
+        )
         print(
             f"repro-lint: wrote {len(findings)} finding(s) to "
             f"{args.write_baseline}"
@@ -200,12 +251,57 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if baseline_path is None and Path("lint_baseline.json").is_file():
         baseline_path = "lint_baseline.json"
     if baseline_path:
-        findings, suppressed = Baseline.load(baseline_path).filter(findings)
+        baseline = Baseline.load(baseline_path)
+        stale = baseline.stale_rules(known_rule_ids())
+        if stale:
+            print(
+                f"repro-lint: baseline references unknown rule(s): "
+                f"{', '.join(stale)} (rewrite with --write-baseline)",
+                file=sys.stderr,
+            )
+        findings, suppressed = baseline.filter(findings)
+    all_rules_for_report = sorted(
+        [*linter.rules, *linter.project_rules], key=lambda r: r.rule_id
+    )
     if args.json:
-        print(render_json(findings, rules=linter.rules, suppressed=suppressed))
+        print(
+            render_json(
+                findings,
+                rules=all_rules_for_report,
+                suppressed=suppressed,
+                run=run,
+            )
+        )
     else:
         print(render_text(findings, suppressed=suppressed))
     return 1 if findings else 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    # a fresh interpreter, so the plugin's pytest_configure patches the
+    # lock factories before any repro module (and its module-level
+    # locks) is imported
+    import os
+    import subprocess
+    from pathlib import Path
+
+    pytest_args = list(args.pytest_args)
+    if pytest_args[:1] == ["--"]:
+        pytest_args = pytest_args[1:]
+    package_root = str(Path(__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (package_root, env.get("PYTHONPATH", "")) if p
+    )
+    command = [
+        sys.executable, "-m", "pytest",
+        "-p", "repro.analysis.sanitizer", *pytest_args,
+    ]
+    try:
+        return subprocess.call(command, env=env)
+    except OSError as exc:  # pragma: no cover - interpreter missing
+        print(f"repro-sanitize: {exc}", file=sys.stderr)
+        return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -326,7 +422,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--root", default=None,
         help="directory findings paths are reported relative to",
     )
+    p.add_argument(
+        "--changed", action="store_true",
+        help="report findings only for git-changed files (the "
+             "whole-program phase still analyzes the full tree)",
+    )
+    p.add_argument(
+        "--cache", action="store_true",
+        help="reuse per-file results for files unchanged since the "
+             "last --cache run (hit/miss counters appear in --json)",
+    )
+    p.add_argument(
+        "--cache-file", default=".repro-lint-cache", metavar="PATH",
+        help="where the parse cache lives (default: .repro-lint-cache)",
+    )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="run pytest under the lockset race sanitizer "
+             "(repro sanitize -- <pytest args>)",
+    )
+    p.add_argument(
+        "pytest_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to pytest (prefix with --)",
+    )
+    p.set_defaults(func=_cmd_sanitize)
 
     return parser
 

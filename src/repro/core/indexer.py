@@ -34,6 +34,7 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.datalake.lake import DataLake
 from repro.datalake.serialize import serialize_instance
 from repro.datalake.types import DataInstance, Modality, Table, TextDocument
@@ -514,6 +515,9 @@ class IndexerModule:
             self.payload_cache_misses += 1
             self._payload_cache[instance_id] = payload
             self._payload_cache.move_to_end(instance_id)
+            _sanitizer.note_write(
+                self, "_payload_cache", lock=self._payload_lock
+            )
             while len(self._payload_cache) > self.config.payload_cache_size:
                 self._payload_cache.popitem(last=False)
             entries = len(self._payload_cache)

@@ -33,6 +33,7 @@ import multiprocessing
 import os
 import shutil
 import tempfile
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -41,6 +42,7 @@ try:  # numpy underpins the sealed kernels the executors dispatch to
 except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.index.base import SearchHit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -128,6 +130,10 @@ def _search_vector_shard_worker(
 #: written once from the first searching thread, then read-only)
 _POOL: Dict[str, ProcessPoolExecutor] = {}
 
+#: guards the check-then-create in :func:`shared_process_pool` — two
+#: threads racing the first search would each fork a full pool
+_POOL_LOCK = threading.Lock()
+
 
 def _shutdown_pool() -> None:
     pool = _POOL.pop("pool", None)
@@ -146,16 +152,20 @@ def shared_process_pool() -> ProcessPoolExecutor:
     """
     pool = _POOL.get("pool")
     if pool is None:
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        pool = ProcessPoolExecutor(
-            max_workers=max(os.cpu_count() or 1, 1),
-            mp_context=context,
-        )
-        _POOL["pool"] = pool
-        atexit.register(_shutdown_pool)
+        with _POOL_LOCK:
+            pool = _POOL.get("pool")
+            if pool is None:
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                pool = ProcessPoolExecutor(
+                    max_workers=max(os.cpu_count() or 1, 1),
+                    mp_context=context,
+                )
+                _POOL["pool"] = pool
+                _sanitizer.note_write(_POOL, "pool", lock=_POOL_LOCK)
+                atexit.register(_shutdown_pool)
     return pool
 
 
@@ -175,6 +185,9 @@ class ShardSpool:
         self._prefix = prefix
         self._dir: Optional[str] = None
         self._shard_dirs: List[str] = []
+        # two threads racing the first process-mode search must not
+        # each persist a full spool (and leak the loser's tempdir)
+        self._lock = threading.Lock()
 
     @property
     def shard_dirs(self) -> List[str]:
@@ -183,24 +196,31 @@ class ShardSpool:
     def ensure(self, shards: Sequence, save) -> List[str]:
         """Persist every shard once via ``save(shard, target_dir)``;
         idempotent until :meth:`invalidate`."""
-        if self._dir is None:
-            spool_dir = tempfile.mkdtemp(prefix=self._prefix)
-            shard_dirs = []
-            for shard_no, shard in enumerate(shards):
-                target = os.path.join(spool_dir, f"shard-{shard_no:04d}")
-                save(shard, target)
-                shard_dirs.append(target)
-            self._dir = spool_dir
-            self._shard_dirs = shard_dirs
-            atexit.register(self.invalidate)
-        return list(self._shard_dirs)
+        with self._lock:
+            if self._dir is None:
+                spool_dir = tempfile.mkdtemp(prefix=self._prefix)
+                shard_dirs = []
+                for shard_no, shard in enumerate(shards):
+                    target = os.path.join(spool_dir, f"shard-{shard_no:04d}")
+                    # persisting under the lock is deliberate: a second
+                    # searcher must block until the spool is complete,
+                    # not attach half-written shards
+                    save(shard, target)  # repro-lint: disable=IPC002
+                    shard_dirs.append(target)
+                self._dir = spool_dir
+                self._shard_dirs = shard_dirs
+                _sanitizer.note_write(self, "_dir", lock=self._lock)
+                atexit.register(self.invalidate)
+            return list(self._shard_dirs)
 
     def invalidate(self) -> None:
         """Drop the spool (the next process search re-persists)."""
-        if self._dir is not None:
-            shutil.rmtree(self._dir, ignore_errors=True)
-            self._dir = None
-            self._shard_dirs = []
+        with self._lock:
+            if self._dir is not None:
+                shutil.rmtree(self._dir, ignore_errors=True)
+                self._dir = None
+                self._shard_dirs = []
+                _sanitizer.note_write(self, "_dir", lock=self._lock)
 
 
 # ---------------------------------------------------------------------------

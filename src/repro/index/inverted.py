@@ -53,6 +53,7 @@ Two extensions support the sharded deployment
 from __future__ import annotations
 
 import math
+import threading
 from collections import Counter, defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -61,6 +62,7 @@ try:  # numpy powers the sealed form; the dict form needs nothing
 except ImportError:  # pragma: no cover - the image bakes numpy in
     np = None
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.index.base import SearchHit, SearchIndex, top_k
 from repro.text import analyze
 
@@ -206,6 +208,10 @@ class InvertedIndex(SearchIndex):
         self._doc_length: Dict[str, int] = {}
         self._total_length = 0
         self._sealed: Optional[_SealedPostings] = None
+        # serializes the lazy compile in seal()/_contrib_flat(): the
+        # scatter paths fan search out over threads, and two of them
+        # hitting an unsealed shard must not compact concurrently
+        self._seal_lock = threading.Lock()
         # ids removed but not yet purged from the postings; any scoring
         # read compacts first, so stale entries are never scored
         self._tombstones: Dict[str, None] = {}
@@ -353,11 +359,23 @@ class InvertedIndex(SearchIndex):
 
         Idempotent; called lazily by :meth:`search` when ``auto_seal``
         is on.  The next :meth:`add` invalidates the compiled form.
+        Safe under concurrent readers: the compile (which includes a
+        :meth:`compact` postings walk) runs under a lock, so a second
+        searching thread blocks instead of reading half-compacted
+        postings or publishing a duplicate seal.
         """
         if np is None:
             raise RuntimeError("sealing requires numpy")
         if self._sealed is not None:
             return self
+        with self._seal_lock:
+            if self._sealed is None:
+                self._seal_build_locked()
+        return self
+
+    def _seal_build_locked(self) -> None:
+        """Compile and publish the sealed form; caller holds
+        ``_seal_lock``."""
         self.compact()
         doc_ids = list(self._doc_length)
         doc_pos = {doc_id: i for i, doc_id in enumerate(doc_ids)}
@@ -392,7 +410,7 @@ class InvertedIndex(SearchIndex):
         self._sealed = _SealedPostings(
             doc_ids, norm, tokens, tok_start, doc_idx, tf_flat, idf_flat
         )
-        return self
+        _sanitizer.note_write(self, "_sealed", lock=self._seal_lock)
 
     def _rank_candidates(
         self, scores: "np.ndarray", matched: "np.ndarray", k: int
@@ -555,11 +573,18 @@ class InvertedIndex(SearchIndex):
         memmap attachments too; never persisted)."""
         sealed = self._sealed
         if sealed.contrib_flat is None:
-            idf_rep = np.repeat(sealed.idf_flat, np.diff(sealed.tok_start))
-            sealed.contrib_flat = (
-                idf_rep * (sealed.tf_flat * (self.k1 + 1))
-                / (sealed.tf_flat + sealed.norm[sealed.doc_idx])
-            )
+            with self._seal_lock:
+                if sealed.contrib_flat is None:
+                    idf_rep = np.repeat(
+                        sealed.idf_flat, np.diff(sealed.tok_start)
+                    )
+                    sealed.contrib_flat = (
+                        idf_rep * (sealed.tf_flat * (self.k1 + 1))
+                        / (sealed.tf_flat + sealed.norm[sealed.doc_idx])
+                    )
+                    _sanitizer.note_write(
+                        sealed, "contrib_flat", lock=self._seal_lock
+                    )
         return sealed.contrib_flat
 
     def _rank_matrix(

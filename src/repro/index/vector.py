@@ -8,10 +8,12 @@ brute-force cosine or L2 search over a dense matrix.  It also defines the
 from __future__ import annotations
 
 import abc
+import threading
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.index.base import SearchHit, SearchIndex, top_k
 
 
@@ -122,6 +124,10 @@ class FlatVectorIndex(VectorIndex):
         super().__init__(dim, encoder=encoder, metric=metric, name=name)
         self._rows: List[np.ndarray] = []
         self._matrix: Optional[np.ndarray] = None
+        # serializes the lazy vstack in _get_matrix(): vector shards
+        # are searched from a thread pool, and two searchers hitting
+        # an invalidated cache must not build (and publish) twice
+        self._matrix_lock = threading.Lock()
         #: True for an index memmap-attached from a persisted snapshot
         #: (read-only: the matrix is a shared on-disk artifact)
         self._attached = False
@@ -146,7 +152,8 @@ class FlatVectorIndex(VectorIndex):
 
     def _store(self, instance_id: str, vector: np.ndarray) -> None:
         self._rows.append(vector)
-        self._matrix = None  # invalidate cache
+        with self._matrix_lock:
+            self._matrix = None  # invalidate cache
 
     def remove_vector(self, instance_id: str) -> None:
         """Evict one vector and its id (KeyError when absent).
@@ -164,16 +171,25 @@ class FlatVectorIndex(VectorIndex):
         del self._ids[index]
         del self._rows[index]
         self._id_set.discard(instance_id)
-        self._matrix = None  # invalidate cache
+        with self._matrix_lock:
+            self._matrix = None  # invalidate cache
 
     def _get_matrix(self) -> np.ndarray:
-        if self._matrix is None:
-            self._matrix = (
-                np.vstack(self._rows)
-                if self._rows
-                else np.zeros((0, self.dim), dtype=np.float64)
-            )
-        return self._matrix
+        matrix = self._matrix
+        if matrix is None:
+            with self._matrix_lock:
+                matrix = self._matrix
+                if matrix is None:
+                    matrix = (
+                        np.vstack(self._rows)
+                        if self._rows
+                        else np.zeros((0, self.dim), dtype=np.float64)
+                    )
+                    self._matrix = matrix
+                    _sanitizer.note_write(
+                        self, "_matrix", lock=self._matrix_lock
+                    )
+        return matrix
 
     def search_vector(self, vector: np.ndarray, k: int = 10) -> List[SearchHit]:
         vector = self._check_vector(vector)

@@ -21,6 +21,8 @@ from __future__ import annotations
 import bisect
 import threading
 from contextlib import contextmanager
+
+from repro.analysis import sanitizer as _sanitizer
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: default latency buckets (seconds) for duration histograms
@@ -160,9 +162,14 @@ class MetricsRegistry:
     def _get_or_create(self, name: str, factory, kind: type):
         with self._lock:
             instrument = self._instruments.get(name)
-            if instrument is None:
-                instrument = factory()
-                self._instruments[name] = instrument
+        if instrument is None:
+            # construct outside the lock (injected factories are
+            # unknown code); a racing creator's instance loses the
+            # setdefault and is discarded before anyone observes it
+            candidate = factory()
+            with self._lock:
+                instrument = self._instruments.setdefault(name, candidate)
+                _sanitizer.note_write(self, "_instruments", lock=self._lock)
         if not isinstance(instrument, kind):
             raise TypeError(
                 f"metric {name!r} is a {type(instrument).__name__}, "

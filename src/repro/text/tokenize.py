@@ -15,6 +15,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, List, NamedTuple
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.obs.metrics import get_registry
 from repro.text.stem import stem
 from repro.text.stopwords import is_stopword
@@ -139,6 +140,7 @@ def analyze(
         _ANALYZE_CACHE.move_to_end(key)
         while len(_ANALYZE_CACHE) > ANALYZE_CACHE_SIZE:
             _ANALYZE_CACHE.popitem(last=False)
+        _sanitizer.note_write(_ANALYZE_CACHE, "entries", lock=_ANALYZE_LOCK)
     get_registry().counter("text.analyze_cache.misses").inc()
     return list(result)
 
