@@ -1,6 +1,6 @@
 # Convenience targets for the VerifAI reproduction.
 
-.PHONY: install check test test-faults test-obs test-shard trace-demo bench bench-quick bench-batch bench-shard bench-paper experiments examples lint lint-json sanitize
+.PHONY: install check test test-faults test-obs test-shard serve-test serve-demo trace-demo bench bench-quick bench-batch bench-serve bench-shard bench-paper experiments examples lint lint-json sanitize
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,7 +10,7 @@ install:
 # differential suite with its slow soak, the timing-free differential
 # proofs behind the benchmark claims, and the concurrency suites under
 # the lockset race sanitizer
-check: lint test-obs test test-shard bench-quick sanitize
+check: lint test-obs serve-test test test-shard bench-quick sanitize
 
 # tests/ includes tests/test_batch_faults.py, the fault-isolation suite
 # for verification campaigns (poisoned objects, retries, fail_fast, and
@@ -32,6 +32,19 @@ test-obs:
 test-shard:
 	PYTHONPATH=src pytest tests/test_index_sharding.py tests/test_index_churn.py \
 		-m "slow or not slow" -q
+
+# the verification service: endpoints, admission control under
+# contention, and the deterministic load harness
+serve-test:
+	PYTHONPATH=src pytest tests/test_serve.py tests/test_serve_admission.py -q
+
+# serve a small lake, replay a seeded load mix against ourselves,
+# print the p50/p95/p99 + shed report, and exit
+serve-demo:
+	PYTHONPATH=src python -m repro.cli build-lake --tables 40 \
+		--out /tmp/repro-serve-lake.json
+	PYTHONPATH=src python -m repro.cli serve \
+		--lake /tmp/repro-serve-lake.json --port 0 --demo 32
 
 # end-to-end trace demo: build a small lake, run a traced campaign,
 # render the span tree (artifacts land in /tmp)
@@ -70,6 +83,10 @@ bench-quick:
 bench-batch:
 	pytest benchmarks/test_bench_batch.py --benchmark-only \
 		--benchmark-json=BENCH_batch.json
+
+bench-serve:
+	pytest benchmarks/test_bench_serve.py --benchmark-only \
+		--benchmark-json=BENCH_serve.json
 
 bench-shard:
 	pytest benchmarks/test_bench_shard.py --benchmark-only \

@@ -1,0 +1,108 @@
+"""Serving-path benchmarks: the numbers ``BENCH_serve.json`` tracks.
+
+One real server (port 0) over the shared experiment lake, driven by the
+deterministic load harness:
+
+* **closed loop** — 4 persistent clients, next request only after the
+  previous response: sustained throughput and tail latency with zero
+  shedding expected;
+* **open loop** — fixed-rate arrivals that do not slow down when the
+  server does: the pattern that exercises queueing, with the shed rate
+  recorded alongside latency.
+
+Each test stamps the mix digest into ``extra_info`` so a baseline whose
+request mix drifted is visible as such, never as a performance change.
+``make bench-serve`` writes the JSON.
+"""
+
+import pytest
+
+from repro.core.pipeline import VerifAI
+from repro.serve import (
+    LoadGenerator,
+    ServeConfig,
+    ServerThread,
+    VerificationService,
+    build_request_mix,
+    mix_digest,
+)
+
+from benchmarks.conftest import run_once
+
+MIX_SEED = 11
+MIX_COUNT = 40
+OPEN_RATE = 100.0
+
+
+@pytest.fixture(scope="module")
+def served(context):
+    system = VerifAI(context.bundle.lake)
+    config = ServeConfig(port=0, max_concurrency=4, max_queue=32)
+    service = VerificationService(system, config)
+    with ServerThread(service) as server:
+        yield server, service
+
+
+@pytest.fixture(scope="module")
+def mix(context):
+    return build_request_mix(context.bundle.lake, MIX_COUNT, seed=MIX_SEED)
+
+
+def _stamp(benchmark, report, requests):
+    benchmark.extra_info["mix_digest"] = mix_digest(requests)
+    benchmark.extra_info["mix_seed"] = MIX_SEED
+    benchmark.extra_info.update(report.to_dict())
+
+
+def test_bench_serve_closed_loop(served, mix, benchmark):
+    server, _ = served
+    host, port = server.address
+    generator = LoadGenerator(host, port)
+
+    report = run_once(benchmark, generator.run_closed, mix, 4)
+
+    _stamp(benchmark, report, mix)
+    assert report.total == MIX_COUNT
+    assert report.ok == MIX_COUNT  # closed loop self-limits: no shedding
+    assert report.shed_rate == 0.0
+    assert report.throughput > 0
+    assert (
+        report.latency_percentile(50)
+        <= report.latency_percentile(95)
+        <= report.latency_percentile(99)
+    )
+
+
+def test_bench_serve_open_loop(served, mix, benchmark):
+    server, _ = served
+    host, port = server.address
+    generator = LoadGenerator(host, port)
+
+    report = run_once(benchmark, generator.run_open, mix, OPEN_RATE)
+
+    _stamp(benchmark, report, mix)
+    benchmark.extra_info["open_rate_rps"] = OPEN_RATE
+    assert report.total == MIX_COUNT
+    # an open loop may shed under pressure but must answer everything
+    assert set(report.statuses) <= {200, 429}
+    assert report.ok + report.shed == MIX_COUNT
+
+
+def test_bench_serve_shedding_under_overload(served, context, benchmark):
+    """A burst far past capacity: the server answers every request
+    (200 or 429) instead of queueing without bound, and the shed rate
+    lands in the report."""
+    server, service = served
+    host, port = server.address
+    burst = build_request_mix(context.bundle.lake, 80, seed=MIX_SEED + 1)
+    generator = LoadGenerator(host, port)
+
+    report = run_once(benchmark, generator.run_open, burst, 2000.0)
+
+    _stamp(benchmark, report, burst)
+    assert report.total == 80
+    assert set(report.statuses) <= {200, 429}
+    assert report.ok + report.shed == 80
+    # admission really bounded the pipeline: never wider than configured
+    assert service.admission.peak_inflight <= 4
+    benchmark.extra_info["peak_inflight"] = service.admission.peak_inflight

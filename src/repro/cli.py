@@ -10,6 +10,8 @@ Subcommands::
     repro verify-batch --lake lake.json --sample 50 --workers 4 \
                        [--trace out.json]
     repro trace       out.json [--json]
+    repro serve       --lake lake.json [--port 8080] [--concurrency 4]
+                      [--queue 16] [--demo N]
     repro discover    --lake lake.json --query "..." [--modality text]
     repro experiment  --name table1 [--scale small]
     repro lint        [--json] [--baseline lint_baseline.json]
@@ -134,6 +136,54 @@ def _cmd_verify_batch(args: argparse.Namespace) -> int:
         for report in batch.failures:
             print(f"  {report.object_id}: {report.error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        LoadGenerator,
+        ServeConfig,
+        ServerThread,
+        VerificationService,
+        build_request_mix,
+        mix_digest,
+    )
+
+    lake = load_lake(args.lake)
+    config = VerifAIConfig(
+        num_shards=args.shards,
+        shard_search_executor=args.shard_executor,
+    )
+    system = VerifAI(lake, config=config)
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.concurrency,
+        max_queue=args.queue,
+    )
+    service = VerificationService(system, serve_config)
+    if args.demo:
+        # start, replay a seeded mix against ourselves, report, stop —
+        # the smoke path `make serve-demo` runs
+        with ServerThread(service) as server:
+            host, port = server.address
+            print(f"serving {lake.name} on http://{host}:{port}")
+            mix = build_request_mix(lake, args.demo, seed=args.seed)
+            print(f"demo mix: {args.demo} requests, digest {mix_digest(mix)}")
+            report = LoadGenerator(host, port).run_closed(
+                mix, clients=min(4, args.demo)
+            )
+            print(report.summary())
+        print("stopped")
+        return 0
+    server = ServerThread(service).start()
+    host, port = server.address
+    print(f"serving {lake.name} on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        print("stopping")
+        server.stop()
     return 0
 
 
@@ -377,6 +427,40 @@ def build_parser() -> argparse.ArgumentParser:
              "for all three)",
     )
     p.set_defaults(func=_cmd_verify_batch)
+
+    p = sub.add_parser(
+        "serve", help="run the verification service over a lake"
+    )
+    p.add_argument("--lake", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 = pick a free one)",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=4,
+        help="verifies in flight at once (admission semaphore width)",
+    )
+    p.add_argument(
+        "--queue", type=int, default=16,
+        help="requests allowed to wait for a slot before 429s",
+    )
+    p.add_argument(
+        "--demo", type=int, default=0, metavar="N",
+        help="serve, replay N seeded requests against ourselves, "
+             "print the load report, and exit",
+    )
+    p.add_argument("--seed", type=int, default=0, help="demo mix seed")
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="index shard count (1 = monolithic; results are identical)",
+    )
+    p.add_argument(
+        "--shard-executor", default="serial",
+        choices=["serial", "thread", "process"],
+        help="how scatter-gather search fans out across shards",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "trace", help="render a trace file written by verify-batch --trace"

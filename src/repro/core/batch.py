@@ -137,6 +137,44 @@ class BatchStats:
             stage_seconds=dict(stage_seconds),
         )
 
+    def per_object_seconds(self) -> Dict[str, float]:
+        """Mean seconds per object for each stage, sorted by stage.
+
+        The service path reports these per campaign; an **empty**
+        campaign (0 objects) must yield well-formed zero means, never a
+        ``ZeroDivisionError`` — long-lived servers see empty batches as
+        a matter of course (health probes, drained queues).
+        """
+        if self.objects <= 0:
+            return {name: 0.0 for name in sorted(self.stage_seconds)}
+        return {
+            name: self.stage_seconds[name] / self.objects
+            for name in sorted(self.stage_seconds)
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON-shaped view (the ``/verify-batch`` response body
+        carries this); keys sorted, nested dicts sorted too."""
+        return {
+            "analyze_cache_hits": self.analyze_cache_hits,
+            "failed": self.failed,
+            "matrix_batches": self.matrix_batches,
+            "max_workers": self.max_workers,
+            "objects": self.objects,
+            "payload_cache_hits": self.payload_cache_hits,
+            "per_object_seconds": self.per_object_seconds(),
+            "retries": self.retries,
+            "retrieval_cache_hits": self.retrieval_cache_hits,
+            "stage_seconds": {
+                name: self.stage_seconds[name]
+                for name in sorted(self.stage_seconds)
+            },
+            "unique_retrievals": self.unique_retrievals,
+            "verifier_cache_entries": self.verifier_cache_entries,
+            "verifier_cache_hits": self.verifier_cache_hits,
+            "verifier_cache_size": self.verifier_cache_size,
+        }
+
     def summary(self) -> str:
         """One-line cost/caching view of the batch.
 

@@ -35,6 +35,7 @@ import shutil
 import tempfile
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 try:  # numpy underpins the sealed kernels the executors dispatch to
@@ -130,6 +131,14 @@ def _search_vector_shard_worker(
 #: written once from the first searching thread, then read-only)
 _POOL: Dict[str, ProcessPoolExecutor] = {}
 
+#: explicit lifecycle configuration (:func:`configure_process_pool`);
+#: ``None`` values mean "the old lazy defaults" so one-shot CLI runs
+#: behave exactly as before
+_POOL_CONFIG: Dict[str, Optional[object]] = {
+    "max_workers": None,
+    "start_method": None,
+}
+
 #: guards the check-then-create in :func:`shared_process_pool` — two
 #: threads racing the first search would each fork a full pool
 _POOL_LOCK = threading.Lock()
@@ -141,28 +150,114 @@ def _shutdown_pool() -> None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _spawn_pool() -> ProcessPoolExecutor:
+    """Create a pool from the current ``_POOL_CONFIG`` (caller holds
+    ``_POOL_LOCK``)."""
+    methods = multiprocessing.get_all_start_methods()
+    method = _POOL_CONFIG["start_method"]
+    if method is None:
+        method = "fork" if "fork" in methods else None
+    context = multiprocessing.get_context(method)
+    workers = _POOL_CONFIG["max_workers"]
+    if workers is None:
+        workers = max(os.cpu_count() or 1, 1)
+    return ProcessPoolExecutor(max_workers=int(workers), mp_context=context)
+
+
+def configure_process_pool(
+    max_workers: Optional[int] = None,
+    start_method: Optional[str] = None,
+    warm: bool = True,
+) -> Optional[ProcessPoolExecutor]:
+    """Explicit pool lifecycle for long-lived processes (the server).
+
+    The lazy default — fork ``os.cpu_count()`` workers at the first
+    process-mode search — is fine for a one-shot CLI run, but a
+    long-lived threaded server must not fork after its worker threads
+    exist (``fork`` in a multi-threaded parent is undefined behavior
+    waiting to happen) and usually wants an explicit worker count.
+    Calling this **at startup, before any request threads are
+    spawned**, pins both: ``max_workers`` replaces the cpu-count
+    default, ``start_method`` replaces the fork-if-available default
+    (servers should pick ``"forkserver"`` or ``"spawn"`` so a
+    post-crash respawn never forks the threaded parent), and
+    ``warm=True`` (the default) creates the pool immediately so the
+    fork happens while the process is still single-threaded.
+
+    Any existing pool is shut down first, so reconfiguration takes
+    effect on the next search.  Returns the warmed pool (``None`` when
+    ``warm=False``).
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if (
+        start_method is not None
+        and start_method not in multiprocessing.get_all_start_methods()
+    ):
+        raise ValueError(
+            f"start_method must be one of "
+            f"{multiprocessing.get_all_start_methods()}, got {start_method!r}"
+        )
+    with _POOL_LOCK:
+        _POOL_CONFIG["max_workers"] = max_workers
+        _POOL_CONFIG["start_method"] = start_method
+        _sanitizer.note_write(_POOL_CONFIG, "max_workers", lock=_POOL_LOCK)
+        old = _POOL.pop("pool", None)
+        _sanitizer.note_write(_POOL, "pool", lock=_POOL_LOCK)
+    if old is not None:
+        old.shutdown(wait=False, cancel_futures=True)
+    if warm:
+        return shared_process_pool()
+    return None
+
+
+def shutdown_process_pool(wait: bool = True) -> None:
+    """Tear the shared pool down (server shutdown hook).
+
+    Idempotent; the next process-mode search lazily respawns a pool
+    from the configured (or default) settings.
+    """
+    with _POOL_LOCK:
+        pool = _POOL.pop("pool", None)
+        _sanitizer.note_write(_POOL, "pool", lock=_POOL_LOCK)
+    if pool is not None:
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+
+def _evict_broken_pool(pool: ProcessPoolExecutor) -> None:
+    """Retire a pool whose worker died (OOM-killed, crashed).
+
+    A ``BrokenProcessPool`` poisons every future submission to that
+    executor, so leaving it installed would fail every subsequent
+    query.  Evict it (unless a racing thread already replaced it),
+    count the event, and let the next search respawn a fresh pool.
+    """
+    from repro.obs.metrics import get_registry
+
+    with _POOL_LOCK:
+        if _POOL.get("pool") is pool:
+            _POOL.pop("pool")
+            _sanitizer.note_write(_POOL, "pool", lock=_POOL_LOCK)
+    pool.shutdown(wait=False, cancel_futures=True)
+    get_registry().counter("index.executor.pool_broken").inc()
+
+
 def shared_process_pool() -> ProcessPoolExecutor:
-    """The lazily created process pool all sharded indexes share.
+    """The process pool all sharded indexes share.
 
     One pool per process (workers are stateless apart from their
     attach cache, so shards of different logical indexes can share
-    it); ``fork`` start method where the platform offers it — workers
-    then skip re-importing the world — falling back to the platform
-    default elsewhere.
+    it).  Created lazily on first use with the settings last pinned by
+    :func:`configure_process_pool`, or — the one-shot CLI default —
+    cpu-count workers under the ``fork`` start method where the
+    platform offers it (workers then skip re-importing the world).
     """
     pool = _POOL.get("pool")
     if pool is None:
         with _POOL_LOCK:
             pool = _POOL.get("pool")
             if pool is None:
-                methods = multiprocessing.get_all_start_methods()
-                context = multiprocessing.get_context(
-                    "fork" if "fork" in methods else None
-                )
-                pool = ProcessPoolExecutor(
-                    max_workers=max(os.cpu_count() or 1, 1),
-                    mp_context=context,
-                )
+                pool = _spawn_pool()
                 _POOL["pool"] = pool
                 _sanitizer.note_write(_POOL, "pool", lock=_POOL_LOCK)
                 atexit.register(_shutdown_pool)
@@ -292,13 +387,22 @@ def scatter_processes(
 
     shard_dirs = spool.ensure(shards, save_sealed_index)
     pool = shared_process_pool()
-    futures = [
-        pool.submit(_search_shard_worker, shard_dir, queries, k)
-        for shard_dir in shard_dirs
-    ]
+    try:
+        futures = [
+            pool.submit(_search_shard_worker, shard_dir, queries, k)
+            for shard_dir in shard_dirs
+        ]
+        results = [future.result() for future in futures]
+    except BrokenProcessPool:
+        # a worker died mid-flight (OOM-killed, crashed): retire the
+        # poisoned pool and serve *this* query serially — identical
+        # results, just slower — so one dead worker never turns into
+        # an outage.  The next search respawns a fresh pool.
+        _evict_broken_pool(pool)
+        return scatter_serial(shards, queries, k)
     return [
-        _hits_from_arrays(shard, future.result())
-        for shard, future in zip(shards, futures)
+        _hits_from_arrays(shard, result)
+        for shard, result in zip(shards, results)
     ]
 
 
@@ -339,10 +443,17 @@ def scatter_processes_vectors(
 
     shard_dirs = spool.ensure(shards, save_vector_index)
     pool = shared_process_pool()
-    futures = [
-        pool.submit(_search_vector_shard_worker, shard_dir, vectors, k)
-        for shard_dir in shard_dirs
-    ]
+    try:
+        futures = [
+            pool.submit(_search_vector_shard_worker, shard_dir, vectors, k)
+            for shard_dir in shard_dirs
+        ]
+        results = [future.result() for future in futures]
+    except BrokenProcessPool:
+        # same recovery as scatter_processes: evict the dead pool,
+        # answer this query serially, respawn on the next search
+        _evict_broken_pool(pool)
+        return scatter_serial_vectors(shards, vectors, k)
     return [
         [
             [
@@ -351,7 +462,7 @@ def scatter_processes_vectors(
                 )
                 for score, instance_id in per_query
             ]
-            for per_query in future.result()
+            for per_query in result
         ]
-        for shard, future in zip(shards, futures)
+        for shard, result in zip(shards, results)
     ]

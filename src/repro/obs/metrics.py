@@ -227,6 +227,15 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # export / lifecycle
     # ------------------------------------------------------------------
+    def instruments(self) -> Dict[str, object]:
+        """Name -> live instrument, a consistent copy of the table.
+
+        Exporters that need more than flat values (the Prometheus
+        exposition wants histogram buckets) walk this; the instruments
+        themselves stay thread-safe to read."""
+        with self._lock:
+            return dict(self._instruments)
+
     def snapshot(self) -> Dict[str, float]:
         """Flat name -> value view (histograms as .count/.sum), sorted."""
         with self._lock:

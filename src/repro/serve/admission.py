@@ -1,0 +1,127 @@
+"""Admission control: bounded queueing in front of bounded concurrency.
+
+The service's load-shedding story in one class.  A request that wants
+pipeline time must :meth:`~AdmissionController.admit` first:
+
+* if a concurrency slot is free it runs immediately;
+* if all ``max_concurrency`` slots are busy it waits in a FIFO queue —
+  but only ``max_queue`` requests may wait;
+* beyond that the request is **shed**: :class:`ServiceOverloaded`
+  carries the ``Retry-After`` hint and the server answers ``429``.
+
+Shedding at admission is what keeps an overloaded server's latency
+bounded — work the server cannot start soon is refused up front instead
+of queueing without limit ("millions of users" behind a finite box).
+
+Every transition is mirrored into the metrics registry:
+``serve.inflight`` / ``serve.queue_depth`` gauges (plus
+``serve.inflight_peak``, which the bounded-concurrency tests assert
+never exceeds the configured width), and ``serve.admitted`` /
+``serve.shed`` counters.  The controller lives on the event loop —
+single-threaded by construction — so its own counters need no locks;
+the pipeline work itself happens on worker threads *after* admission.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import AsyncIterator
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class ServiceOverloaded(Exception):
+    """Queue full: the caller should retry after ``retry_after``."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"service overloaded; retry after {retry_after:g}s"
+        )
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Bounded FIFO queue + semaphore-bounded concurrency."""
+
+    def __init__(
+        self,
+        max_concurrency: int,
+        max_queue: int,
+        registry: MetricsRegistry,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self.retry_after_seconds = retry_after_seconds
+        self._registry = registry
+        # asyncio.Semaphore wakes waiters in acquisition order: the
+        # wait line really is FIFO
+        self._semaphore = asyncio.Semaphore(max_concurrency)
+        self._inflight = 0
+        self._queued = 0
+        self._peak_inflight = 0
+
+    # ------------------------------------------------------------------
+    # introspection (event-loop thread)
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    @property
+    def peak_inflight(self) -> int:
+        """High-water mark of concurrent admissions (also exported as
+        the ``serve.inflight_peak`` gauge)."""
+        return self._peak_inflight
+
+    # ------------------------------------------------------------------
+    # the admission path
+    # ------------------------------------------------------------------
+    def _set_gauges(self) -> None:
+        self._registry.gauge("serve.inflight").set(self._inflight)
+        self._registry.gauge("serve.queue_depth").set(self._queued)
+        self._registry.gauge("serve.inflight_peak").set(self._peak_inflight)
+
+    @asynccontextmanager
+    async def admit(self) -> AsyncIterator[None]:
+        """Hold one concurrency slot for the ``async with`` body.
+
+        Raises :class:`ServiceOverloaded` (without waiting) when every
+        slot is busy and the wait line is already ``max_queue`` deep.
+        """
+        if self._semaphore.locked() and self._queued >= self.max_queue:
+            self._registry.counter("serve.shed").inc()
+            raise ServiceOverloaded(self.retry_after_seconds)
+        self._queued += 1
+        self._set_gauges()
+        admitted = False
+        try:
+            async with self._semaphore:
+                self._queued -= 1
+                admitted = True
+                self._inflight += 1
+                self._peak_inflight = max(
+                    self._peak_inflight, self._inflight
+                )
+                self._registry.counter("serve.admitted").inc()
+                self._set_gauges()
+                try:
+                    yield
+                finally:
+                    self._inflight -= 1
+        finally:
+            if not admitted:
+                # cancelled while waiting in line
+                self._queued -= 1
+            self._set_gauges()

@@ -1,0 +1,97 @@
+"""Service configuration (admission control + lifecycle knobs)."""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.clock import Clock
+
+
+def default_pool_start_method() -> Optional[str]:
+    """The start method a long-lived threaded server should use for the
+    shard process pool.
+
+    ``fork`` — the one-shot CLI default — is unsafe once the server's
+    request threads exist (a post-crash respawn would fork a threaded
+    parent), so prefer ``forkserver`` (forks from a clean single-thread
+    helper) and fall back to ``spawn``.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "forkserver" in methods:
+        return "forkserver"
+    if "spawn" in methods:
+        return "spawn"
+    return None  # pragma: no cover - every CPython platform has spawn
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of the verification service.
+
+    * ``max_concurrency`` — verifies allowed in flight at once (the
+      admission semaphore's width AND the worker-pool size; the
+      ``serve.inflight`` gauge never exceeds it);
+    * ``max_queue`` — requests allowed to wait for a slot; a request
+      arriving with the queue full is shed with ``429`` and
+      ``Retry-After: retry_after_seconds``;
+    * ``retry_after_seconds`` — the backoff hint shed responses carry;
+    * ``max_body_bytes`` / ``max_batch_objects`` — request-size guards
+      (``413`` / ``400``);
+    * ``batch_max_workers`` — cap on the per-request ``max_workers`` a
+      ``/verify-batch`` body may ask for;
+    * ``trace_cache_size`` — finished request traces kept for
+      ``GET /trace/<trace_id>`` (oldest evicted first);
+    * ``pool_workers`` / ``pool_start_method`` — forwarded to
+      :func:`repro.index.executor.configure_process_pool` at startup so
+      the shard process pool is created *before* request threads exist
+      (``None`` start method resolves to
+      :func:`default_pool_start_method`);
+    * ``clock`` — the injectable time source for request metrics
+      (defaults to the system's clock; tests pin a TickClock).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_concurrency: int = 4
+    max_queue: int = 16
+    retry_after_seconds: float = 1.0
+    max_body_bytes: int = 1 << 20
+    max_batch_objects: int = 256
+    batch_max_workers: int = 4
+    trace_cache_size: int = 512
+    pool_workers: Optional[int] = None
+    pool_start_method: Optional[str] = None
+    clock: Optional[Clock] = None
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.retry_after_seconds <= 0:
+            raise ValueError(
+                f"retry_after_seconds must be > 0, "
+                f"got {self.retry_after_seconds}"
+            )
+        if self.max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+        if self.max_batch_objects < 1:
+            raise ValueError(
+                f"max_batch_objects must be >= 1, "
+                f"got {self.max_batch_objects}"
+            )
+        if self.batch_max_workers < 1:
+            raise ValueError(
+                f"batch_max_workers must be >= 1, "
+                f"got {self.batch_max_workers}"
+            )
+        if self.trace_cache_size < 1:
+            raise ValueError(
+                f"trace_cache_size must be >= 1, got {self.trace_cache_size}"
+            )

@@ -1,0 +1,73 @@
+"""Prometheus text exposition of the :class:`MetricsRegistry`.
+
+Renders every registered instrument in the text format scrapers accept
+(version 0.0.4): counters and gauges as single samples, histograms as
+cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+Instrument names are dotted (``serve.request_seconds``); Prometheus
+names are the same words underscored under one namespace prefix
+(``repro_serve_request_seconds``).  Output is sorted by metric name, so
+two scrapes of identical registry state are byte-identical.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: the exposition content type the /metrics endpoint serves
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """``serve.request_seconds`` -> ``repro_serve_request_seconds``."""
+    flat = _INVALID.sub("_", name.replace(".", "_"))
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _format_value(value: float) -> str:
+    # integers print bare (Prometheus convention for counts)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    if float(bound).is_integer():
+        return f"{bound:.1f}"
+    return repr(float(bound))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """The full exposition body for ``GET /metrics``."""
+    lines: List[str] = []
+    instruments = registry.instruments()
+    for name in sorted(instruments):
+        instrument = instruments[name]
+        exposed = metric_name(name, prefix)
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {exposed} counter")
+            lines.append(f"{exposed} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {exposed} gauge")
+            lines.append(f"{exposed} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {exposed} histogram")
+            cumulative = 0
+            counts = instrument.bucket_counts()
+            for bound, count in zip(instrument.buckets, counts):
+                cumulative += count
+                lines.append(
+                    f'{exposed}_bucket{{le="{_format_bound(bound)}"}} '
+                    f"{cumulative}"
+                )
+            total = cumulative + counts[-1]
+            lines.append(f'{exposed}_bucket{{le="+Inf"}} {total}')
+            lines.append(f"{exposed}_sum {_format_value(instrument.sum)}")
+            lines.append(f"{exposed}_count {total}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,92 @@
+"""Run a :class:`VerificationService` on its own thread + event loop.
+
+Tests, benchmarks, and the CLI demo all need the same shape: start a
+server, know when it is actually accepting, talk to it from the calling
+thread, tear it down cleanly.  ``ServerThread`` packages that —
+``start()`` blocks until the socket is bound (re-raising any startup
+fault in the caller), ``stop()`` is idempotent and joins the thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from repro.serve.app import VerificationService
+
+
+class ServerThread:
+    """A started service on a background event loop."""
+
+    def __init__(
+        self, service: VerificationService, start_timeout: float = 30.0
+    ) -> None:
+        self.service = service
+        self.start_timeout = start_timeout
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        stop_signal = asyncio.Event()
+        self._stop_signal = stop_signal
+        try:
+            await self.service.start()
+        except BaseException as exc:  # surface in start() on the caller
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await stop_signal.wait()
+        await self.service.stop()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerThread":
+        """Spawn the loop thread; returns once the socket is bound."""
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(self.start_timeout):
+            raise RuntimeError("server did not start in time")
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Stop the service and join the loop thread (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and not self._stopped.is_set():
+            if self._startup_error is None:
+                self._loop.call_soon_threadsafe(self._stop_signal.set)
+        self._thread.join()
+        self._thread = None
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Block until the server thread exits (foreground serving)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.service.address
+        return host, port
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

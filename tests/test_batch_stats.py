@@ -1,0 +1,146 @@
+"""Service-path hardening of ``verify_batch`` / ``BatchStats``.
+
+A long-lived server turns two campaign shapes that a one-shot CLI never
+produces into everyday traffic:
+
+* **empty campaigns** (0 objects) — the stats summary and the new
+  per-object means must come back well-formed, with no division by
+  zero, no dangling provenance records, and no campaign Scope left
+  active on any thread;
+* **concurrent campaigns** — two requests verifying at the same time
+  must each get a stats view of *their own* work (their own matrix
+  prefill, their own failure counters), never a shared Scope.
+
+Plus the id-allocation race a threaded server exposes: concurrent
+``ProvenanceStore.new_record`` calls must never hand out duplicate
+record ids.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.batch import BatchStats
+from repro.core.pipeline import VerifAI
+from repro.obs.clock import TickClock
+from repro.obs.metrics import get_registry
+from repro.provenance.store import ProvenanceStore
+from repro.verify.objects import ClaimObject
+from repro.workloads.builder import LakeConfig, build_lake
+
+
+@pytest.fixture(scope="module")
+def system():
+    bundle = build_lake(LakeConfig(num_tables=24, seed=3))
+    return VerifAI(bundle.lake, clock=TickClock()).build_indexes()
+
+
+class TestEmptyCampaign:
+    def test_empty_campaign_is_well_formed(self, system):
+        report = system.verify_batch([])
+        assert len(report) == 0
+        assert report.failed == 0
+        stats = report.stats
+        assert stats.objects == 0
+        # per-object means must not divide by zero on 0 objects
+        means = stats.per_object_seconds()
+        assert means == {"retrieve": 0.0, "total": 0.0, "verify": 0.0}
+        assert "0 objects" in stats.summary()
+
+    def test_empty_campaign_to_dict_round_trips(self, system):
+        import json
+
+        stats = system.verify_batch([]).stats
+        payload = stats.to_dict()
+        assert payload["objects"] == 0
+        assert payload["per_object_seconds"]["total"] == 0.0
+        # JSON-serializable as-is: the /verify-batch response embeds it
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_empty_campaign_leaves_no_dangling_state(self, system):
+        system.verify_batch([])
+        assert system.provenance.open_records() == []
+        # the campaign Scope was deactivated on the way out
+        assert get_registry().active_scopes() == ()
+
+    def test_empty_campaign_traced(self, system):
+        report = system.verify_batch([], trace=True)
+        assert report.trace is not None
+        root = report.trace.root
+        assert root.name == "verify_batch"
+        assert root.attributes["objects"] == 0
+
+    def test_per_object_means_divide_on_real_campaign(self, system):
+        objs = [
+            ClaimObject(f"mean-{i}", "the largest city by population")
+            for i in range(4)
+        ]
+        stats = system.verify_batch(objs).stats
+        means = stats.per_object_seconds()
+        assert set(means) == {"retrieve", "total", "verify"}
+        for name, mean in means.items():
+            assert mean == stats.stage_seconds[name] / 4
+
+    def test_zero_objects_stats_standalone(self):
+        # the dataclass itself, not just the engine path
+        stats = BatchStats(objects=0, stage_seconds={"total": 0.0})
+        assert stats.per_object_seconds() == {"total": 0.0}
+        assert stats.to_dict()["objects"] == 0
+
+
+class TestConcurrentCampaigns:
+    def test_concurrent_campaigns_do_not_share_a_scope(self, system):
+        """Two interleaved campaigns each see exactly their own matrix
+        prefill (1 batch each) and their own object/failure counts —
+        a shared Scope would double both."""
+        barrier = threading.Barrier(2)
+        results = {}
+
+        def run(name, text):
+            objs = [ClaimObject(f"{name}-{i}", text) for i in range(6)]
+            barrier.wait()
+            results[name] = system.verify_batch(objs, max_workers=2)
+
+        threads = [
+            threading.Thread(
+                target=run, args=("a", "Tokyo has the largest population")
+            ),
+            threading.Thread(
+                target=run, args=("b", "the team won the gold medal total")
+            ),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for name in ("a", "b"):
+            stats = results[name].stats
+            assert stats.objects == 6
+            assert stats.matrix_batches == 1, name
+            assert stats.failed == 0
+        assert get_registry().active_scopes() == ()
+
+    def test_concurrent_record_ids_never_collide(self):
+        store = ProvenanceStore()
+        barrier = threading.Barrier(8)
+        ids = []
+        lock = threading.Lock()
+
+        def open_records():
+            barrier.wait()
+            mine = [
+                store.new_record(f"obj-{i}", "q").record_id
+                for i in range(50)
+            ]
+            with lock:
+                ids.extend(mine)
+
+        threads = [threading.Thread(target=open_records) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ids) == 8 * 50
+        assert len(set(ids)) == 8 * 50, "duplicate record ids handed out"
+        assert len(store) == 8 * 50

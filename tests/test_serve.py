@@ -1,0 +1,349 @@
+"""End-to-end tests of the asyncio verification service.
+
+One real server per module (port 0, frozen-step TickClock on both the
+pipeline and the service), exercised over real sockets: every endpoint,
+every 4xx mapping, and the request → trace → provenance-record loop.
+Admission-control behavior under contention lives in
+tests/test_serve_admission.py.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.pipeline import VerifAI
+from repro.obs.clock import TickClock
+from repro.obs.export import validate_trace
+from repro.serve import ServeConfig, ServerThread, VerificationService
+from repro.workloads.builder import LakeConfig, build_lake
+
+
+@pytest.fixture(scope="module")
+def served():
+    bundle = build_lake(LakeConfig(num_tables=10, seed=3))
+    clock = TickClock(step=0.001)
+    system = VerifAI(bundle.lake, clock=clock)
+    config = ServeConfig(
+        port=0,
+        max_concurrency=2,
+        max_queue=8,
+        max_body_bytes=64 * 1024,
+        max_batch_objects=8,
+        trace_cache_size=4,
+        clock=clock,
+    )
+    service = VerificationService(system, config)
+    with ServerThread(service) as server:
+        yield server, service, bundle
+
+
+def request(server, method, path, payload=None, raw_body=None):
+    """One request over a fresh connection -> (status, headers, body).
+
+    ``headers`` keys are lower-cased; JSON bodies come back decoded.
+    """
+    host, port = server.address
+    body = raw_body
+    if payload is not None:
+        body = json.dumps(payload).encode("utf-8")
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        data = response.read()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+    finally:
+        conn.close()
+    if headers.get("content-type", "").startswith("application/json"):
+        return response.status, headers, json.loads(data)
+    return response.status, headers, data
+
+
+def sample_cell(lake):
+    """(table, non-key column) of the first table with both."""
+    for table in sorted(lake.tables(), key=lambda t: t.table_id):
+        columns = [c for c in table.columns if c != table.key_column]
+        if table.num_rows and columns:
+            return table, columns[0]
+    raise AssertionError("lake has no sampleable table")
+
+
+# ----------------------------------------------------------------------
+# happy paths
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_healthz(self, served):
+        server, _, _ = served
+        status, _, body = request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["lake"] == "synthetic-lake"
+        assert body["max_concurrency"] == 2
+        assert body["max_queue"] == 8
+
+    def test_verify_claim(self, served):
+        server, _, _ = served
+        status, _, body = request(
+            server, "POST", "/verify",
+            {"kind": "claim", "text": "the gold of valoria is 10"},
+        )
+        assert status == 200
+        assert body["status"] == "OK"
+        assert body["verdict"] in ("VERIFIED", "REFUTED", "NOT_RELATED")
+        assert body["record_id"].startswith("rec-")
+        assert body["trace_id"].startswith("trace-")
+        assert len(body["outcomes"]) == len(body["evidence_ids"])
+
+    def test_verify_truthful_tuple(self, served):
+        server, _, bundle = served
+        table, column = sample_cell(bundle.lake)
+        status, _, body = request(
+            server, "POST", "/verify",
+            {
+                "kind": "tuple",
+                "table_id": table.table_id,
+                "row": 0,
+                "column": column,
+            },
+        )
+        assert status == 200
+        assert body["status"] == "OK"
+        # the cell comes from the lake itself: its own row is evidence
+        assert body["verdict"] == "VERIFIED"
+
+    def test_verify_respects_object_id(self, served):
+        server, _, _ = served
+        status, _, body = request(
+            server, "POST", "/verify",
+            {"kind": "claim", "text": "x is y", "object_id": "mine-1"},
+        )
+        assert status == 200
+        assert body["object_id"] == "mine-1"
+
+    def test_request_ids_are_unique(self, served):
+        server, _, _ = served
+        ids = set()
+        for _ in range(2):
+            _, _, body = request(
+                server, "POST", "/verify",
+                {"kind": "claim", "text": "x is y"},
+            )
+            ids.add(body["object_id"])
+        assert len(ids) == 2
+
+    def test_verify_batch(self, served):
+        server, _, bundle = served
+        table, column = sample_cell(bundle.lake)
+        objects = [
+            {"kind": "tuple", "table_id": table.table_id,
+             "row": i, "column": column}
+            for i in range(min(3, table.num_rows))
+        ]
+        status, _, body = request(
+            server, "POST", "/verify-batch",
+            {"objects": objects, "max_workers": 2},
+        )
+        assert status == 200
+        assert len(body["reports"]) == len(objects)
+        assert body["verified"] == len(objects)
+        assert body["failed"] == 0
+        # per-request ids follow the request id
+        prefix = body["request_id"]
+        assert [r["object_id"] for r in body["reports"]] == [
+            f"{prefix}-{i:04d}" for i in range(len(objects))
+        ]
+        stats = body["stats"]
+        assert stats["objects"] == len(objects)
+        assert stats["failed"] == 0
+        # the campaign trace is fetchable
+        status, _, trace = request(
+            server, "GET", f"/trace/{body['trace_id']}"
+        )
+        assert status == 200
+        assert trace["trace_id"] == body["trace_id"]
+
+    def test_batch_of_zero_objects(self, served):
+        """The empty-campaign hardening, over the wire."""
+        server, _, _ = served
+        status, _, body = request(
+            server, "POST", "/verify-batch", {"objects": []}
+        )
+        assert status == 200
+        assert body["reports"] == []
+        assert body["stats"]["objects"] == 0
+        assert body["stats"]["per_object_seconds"]["total"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# lineage round trips
+# ----------------------------------------------------------------------
+class TestLineage:
+    def test_trace_and_explain_round_trip(self, served):
+        server, service, _ = served
+        _, _, verified = request(
+            server, "POST", "/verify",
+            {"kind": "claim", "text": "the gold of valoria is 10"},
+        )
+        record_id = verified["record_id"]
+        trace_id = verified["trace_id"]
+
+        status, _, trace = request(server, "GET", f"/trace/{trace_id}")
+        assert status == 200
+        payload = validate_trace(trace)
+        assert payload["trace_id"] == trace_id
+        roots = [s for s in payload["spans"] if not s["parent_id"]]
+        assert [s["record_id"] for s in roots] == [record_id]
+
+        status, _, explained = request(
+            server, "GET", f"/explain/{record_id}"
+        )
+        assert status == 200
+        assert explained["record_id"] == record_id
+        # the record carries the trace id: the loop closes both ways
+        assert f"trace: {trace_id}" in explained["lineage"]
+
+    def test_unknown_record_404(self, served):
+        server, _, _ = served
+        status, _, body = request(server, "GET", "/explain/rec-999999")
+        assert status == 404
+        assert "rec-999999" in body["error"]
+
+    def test_unknown_trace_404(self, served):
+        server, _, _ = served
+        status, _, _ = request(server, "GET", "/trace/trace-999999")
+        assert status == 404
+
+    def test_trace_cache_evicts_oldest(self, served):
+        server, _, _ = served
+        trace_ids = []
+        for i in range(5):  # cache holds 4
+            _, _, body = request(
+                server, "POST", "/verify",
+                {"kind": "claim", "text": f"evict probe {i}"},
+            )
+            trace_ids.append(body["trace_id"])
+        status, _, _ = request(server, "GET", f"/trace/{trace_ids[0]}")
+        assert status == 404
+        status, _, _ = request(server, "GET", f"/trace/{trace_ids[-1]}")
+        assert status == 200
+
+
+# ----------------------------------------------------------------------
+# error mapping
+# ----------------------------------------------------------------------
+class TestErrors:
+    def test_malformed_json_400(self, served):
+        server, _, _ = served
+        status, _, body = request(
+            server, "POST", "/verify", raw_body=b"{not json"
+        )
+        assert status == 400
+        assert "JSON" in body["error"]
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ({"kind": "prophecy", "text": "x"}, "kind"),
+        ({"kind": "claim"}, "text"),
+        ({"kind": "tuple", "table_id": "no-such", "row": 0,
+          "column": "c"}, "no-such"),
+        ([1, 2, 3], "JSON object"),
+    ])
+    def test_bad_verify_bodies_400(self, served, payload, fragment):
+        server, _, _ = served
+        status, _, body = request(server, "POST", "/verify", payload)
+        assert status == 400
+        assert fragment in body["error"]
+
+    def test_row_out_of_range_400(self, served):
+        server, _, bundle = served
+        table, column = sample_cell(bundle.lake)
+        status, _, body = request(
+            server, "POST", "/verify",
+            {"kind": "tuple", "table_id": table.table_id,
+             "row": table.num_rows, "column": column},
+        )
+        assert status == 400
+        assert "out of range" in body["error"]
+
+    def test_oversized_batch_400(self, served):
+        server, _, _ = served
+        objects = [{"kind": "claim", "text": "x"}] * 9  # limit is 8
+        status, _, body = request(
+            server, "POST", "/verify-batch", {"objects": objects}
+        )
+        assert status == 400
+        assert "exceeds" in body["error"]
+
+    def test_unknown_route_404(self, served):
+        server, _, _ = served
+        status, _, body = request(server, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_405(self, served):
+        server, _, _ = served
+        status, headers, _ = request(server, "GET", "/verify")
+        assert status == 405
+        assert headers["allow"] == "POST"
+
+    def test_oversized_body_413(self, served):
+        server, _, _ = served
+        status, _, _ = request(
+            server, "POST", "/verify", raw_body=b"x" * (64 * 1024 + 1)
+        )
+        assert status == 413
+
+    def test_empty_claim_text_400(self, served):
+        server, _, _ = served
+        status, _, body = request(
+            server, "POST", "/verify", {"kind": "claim", "text": ""}
+        )
+        assert status == 400
+        assert "text" in body["error"]
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_prometheus_exposition(self, served):
+        server, _, _ = served
+        # at least one admitted verify before scraping
+        request(server, "POST", "/verify", {"kind": "claim", "text": "m"})
+        status, headers, body = request(server, "GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["content-type"]
+        text = body.decode("utf-8")
+        lines = text.splitlines()
+        assert "# TYPE repro_serve_admitted counter" in lines
+        assert "# TYPE repro_serve_inflight gauge" in lines
+        assert "# TYPE repro_serve_request_seconds histogram" in lines
+        assert "# TYPE repro_pipeline_verify_calls counter" in lines
+        # histogram buckets are cumulative and consistent with _count
+        buckets = [
+            int(line.rsplit(" ", 1)[1]) for line in lines
+            if line.startswith("repro_serve_request_seconds_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        count = next(
+            int(line.rsplit(" ", 1)[1]) for line in lines
+            if line.startswith("repro_serve_request_seconds_count")
+        )
+        assert buckets[-1] == count
+        # exposition is sorted by metric name (deterministic scrape)
+        names = [line.split("{")[0].split(" ")[2] for line in lines
+                 if line.startswith("# TYPE")]
+        assert names == sorted(names)
+
+    def test_latency_metric_uses_injected_clock(self, served):
+        """Request timing flows through the TickClock the test pinned,
+        not the wall clock: the histogram sum moves in exact 0.001-step
+        multiples."""
+        server, service, _ = served
+        histogram = service.registry.histogram("serve.request_seconds")
+        before = histogram.sum
+        request(server, "GET", "/healthz")
+        after = histogram.sum
+        ticks = round((after - before) / 0.001)
+        assert ticks >= 1
+        assert after - before == pytest.approx(ticks * 0.001)
