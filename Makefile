@@ -1,6 +1,6 @@
 # Convenience targets for the VerifAI reproduction.
 
-.PHONY: install check test test-faults test-obs test-shard serve-test serve-demo trace-demo bench bench-quick bench-batch bench-serve bench-shard bench-paper experiments examples lint lint-json sanitize
+.PHONY: install check test test-faults test-obs test-shard serve-test serve-demo trace-demo bench bench-quick bench-check bench-batch bench-serve bench-shard bench-paper experiments examples lint lint-json sanitize
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,9 +8,10 @@ install:
 # the default CI gate: static analysis first, then the test suite
 # (which includes the observability smoke below), the sharding/churn
 # differential suite with its slow soak, the timing-free differential
-# proofs behind the benchmark claims, and the concurrency suites under
-# the lockset race sanitizer
-check: lint test-obs serve-test test test-shard bench-quick sanitize
+# proofs behind the benchmark claims, the benchmark regression gate's
+# self-consistency check, and the concurrency suites under the lockset
+# race sanitizer
+check: lint test-obs serve-test test test-shard bench-quick bench-check sanitize
 
 # tests/ includes tests/test_batch_faults.py, the fault-isolation suite
 # for verification campaigns (poisoned objects, retries, fail_fast, and
@@ -79,6 +80,13 @@ bench:
 bench-quick:
 	PYTHONPATH=src pytest tests/test_index_matrix.py \
 		tests/test_index_memmap.py tests/test_index_executor.py -q
+
+# the regression gate's self-consistency check: every committed
+# BENCH_*.json snapshot must diff clean against itself (exercises the
+# loader + gate end to end; compare a fresh run against the committed
+# snapshots with `repro bench diff . /path/to/new` after re-benching)
+bench-check:
+	PYTHONPATH=src python -m repro.cli bench diff . .
 
 bench-batch:
 	pytest benchmarks/test_bench_batch.py --benchmark-only \

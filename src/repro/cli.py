@@ -9,6 +9,9 @@ Subcommands::
                        --column votes --value "123,456"
     repro verify-batch --lake lake.json --sample 50 --workers 4 \
                        [--trace out.json]
+    repro profile     --lake lake.json --sample 50 [--out stacks.txt]
+    repro profile     -- verify-batch --lake lake.json --sample 20
+    repro bench diff  OLD NEW [--threshold PCT] [--metric mean] [--json]
     repro trace       out.json [--json]
     repro serve       --lake lake.json [--port 8080] [--concurrency 4]
                       [--queue 16] [--demo N]
@@ -90,11 +93,12 @@ def _cmd_verify_tuple(args: argparse.Namespace) -> int:
     return 0 if report.final_verdict.name != "REFUTED" else 1
 
 
-def _cmd_verify_batch(args: argparse.Namespace) -> int:
+def _sample_objects(system: VerifAI, sample: int, seed: int, command: str):
+    """``sample`` seeded tuple objects drawn from the lake, or ``None``
+    (with a stderr diagnostic) when the lake has nothing sampleable."""
     import random
 
-    system = _system_for(args)
-    rng = random.Random(args.seed)
+    rng = random.Random(seed)
     # a sampleable table needs at least one row and one non-key column;
     # degenerate tables (empty, or key-only) would crash rng.choice /
     # rng.randrange, so skip them up front
@@ -106,17 +110,25 @@ def _cmd_verify_batch(args: argparse.Namespace) -> int:
     ]
     if not tables:
         print(
-            "verify-batch: no sampleable tables in the lake "
+            f"{command}: no sampleable tables in the lake "
             "(every table is empty or has only its key column)",
             file=sys.stderr,
         )
-        return 2
+        return None
     objects = []
-    for i in range(args.sample):
+    for i in range(sample):
         table = rng.choice(tables)
         row = table.row(rng.randrange(table.num_rows))
         column = rng.choice([c for c in table.columns if c != table.key_column])
         objects.append(TupleObject(f"batch-{i:04d}", row, attribute=column))
+    return objects
+
+
+def _cmd_verify_batch(args: argparse.Namespace) -> int:
+    system = _system_for(args)
+    objects = _sample_objects(system, args.sample, args.seed, "verify-batch")
+    if objects is None:
+        return 2
     batch = system.verify_batch(
         objects,
         max_workers=args.workers,
@@ -137,6 +149,88 @@ def _cmd_verify_batch(args: argparse.Namespace) -> int:
             print(f"  {report.object_id}: {report.error}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Two profiling modes behind one subcommand:
+
+    * **campaign** (``--lake``): run a seeded verify-batch campaign with
+      per-span CPU stamping and print the per-stage self-time table
+      plus collapsed-stack output (``--out`` writes it to a file
+      instead — feed it straight to flamegraph tooling);
+    * **sampler** (``repro profile -- <repro args>``): run any other
+      repro subcommand in-process under the thread-sampling stack
+      profiler and emit collapsed stacks with sample counts.
+    """
+    command = [a for a in args.cmd if a != "--"]
+    if command and args.lake:
+        print(
+            "profile: use either --lake (campaign mode) or "
+            "-- <command> (sampler mode), not both",
+            file=sys.stderr,
+        )
+        return 2
+    if command:
+        from repro.obs.profile import sample_callable
+
+        run = sample_callable(
+            lambda: main(command), interval=args.interval
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(run.collapsed)
+            print(
+                f"profile: {run.samples} samples "
+                f"every {run.interval * 1e3:g}ms -> {args.out}"
+            )
+        else:
+            sys.stdout.write(run.collapsed)
+        return run.exit_code
+    if not args.lake:
+        print(
+            "profile: --lake (campaign mode) or -- <command> "
+            "(sampler mode) is required",
+            file=sys.stderr,
+        )
+        return 2
+    system = _system_for(args)
+    objects = _sample_objects(system, args.sample, args.seed, "profile")
+    if objects is None:
+        return 2
+    batch = system.verify_batch(
+        objects, max_workers=args.workers, profile=True
+    )
+    print(batch.profile.table())
+    collapsed = batch.profile.collapsed(cpu=args.cpu)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(collapsed)
+        print(f"collapsed stacks -> {args.out}")
+    else:
+        sys.stdout.write(collapsed)
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs.benchdiff import BenchDiffError, compare_paths
+
+    try:
+        report = compare_paths(
+            args.old, args.new,
+            threshold_pct=args.threshold, metric=args.metric,
+        )
+    except BenchDiffError as exc:
+        print(f"bench diff: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json_module.dumps(
+            report.to_dict(), indent=2, sort_keys=True
+        ))
+    else:
+        print(report.table())
+    return 0 if report.passed else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -427,6 +521,61 @@ def build_parser() -> argparse.ArgumentParser:
              "for all three)",
     )
     p.set_defaults(func=_cmd_verify_batch)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile a seeded campaign (--lake) or any repro "
+             "subcommand (repro profile -- <args>)",
+    )
+    p.add_argument(
+        "--lake", default=None,
+        help="campaign mode: lake to sample a verify-batch from",
+    )
+    p.add_argument("--sample", type=int, default=50)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--cpu", action="store_true",
+        help="campaign mode: emit CPU self time instead of wall time",
+    )
+    p.add_argument(
+        "--interval", type=float, default=0.005,
+        help="sampler mode: seconds between stack samples",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write collapsed stacks to PATH instead of stdout",
+    )
+    p.add_argument(
+        "cmd", nargs=argparse.REMAINDER,
+        help="sampler mode: a repro subcommand to run under the "
+             "stack sampler (prefix with --)",
+    )
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "bench", help="benchmark snapshot tooling (see `repro bench diff`)"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    d = bench_sub.add_parser(
+        "diff",
+        help="compare two BENCH_*.json snapshots (files or directories) "
+             "and fail on regressions",
+    )
+    d.add_argument("old", help="baseline BENCH_*.json file or directory")
+    d.add_argument("new", help="candidate BENCH_*.json file or directory")
+    d.add_argument(
+        "--threshold", type=float, default=25.0, metavar="PCT",
+        help="noise tolerance: NEW may be up to PCT%% slower (default 25)",
+    )
+    d.add_argument(
+        "--metric", default="mean",
+        help="stats field to compare (default: mean)",
+    )
+    d.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    d.set_defaults(func=_cmd_bench_diff)
 
     p = sub.add_parser(
         "serve", help="run the verification service over a lake"

@@ -71,7 +71,9 @@ from repro.core.pipeline import (
 )
 from repro.datalake.types import DataInstance, Modality
 from repro.index.base import SearchHit
+from repro.obs.events import get_event_log
 from repro.obs.metrics import Scope
+from repro.obs.profile import StageProfile
 from repro.obs.trace import NULL_BRANCH, Span, Tracer
 from repro.verify.objects import DataObject
 from repro.verify.verdict import Verdict
@@ -236,18 +238,34 @@ class BatchEngine:
         k_coarse: Optional[int] = None,
         k_fine: Optional[int] = None,
         trace: bool = False,
+        profile: bool = False,
     ) -> BatchReport:
-        """Verify every object; reports come back in input order."""
+        """Verify every object; reports come back in input order.
+
+        ``profile=True`` (implies ``trace``) stamps spans with
+        thread-CPU readings and attaches a
+        :class:`~repro.obs.profile.StageProfile` to the report; the
+        default path builds byte-identical traces to an unprofiled run.
+        """
         system = self.system
         clock = system.clock
         registry = system.metrics
+        events = get_event_log()
         object_list = list(objects)
 
+        trace = trace or profile
         scope = registry.scope()
         tracer: Optional[Tracer] = None
         root_span: Optional[Span] = None
+        # profile-only measurements of work that deliberately emits no
+        # span (the matrix prefill): (stack, wall, cpu) entries folded
+        # into the StageProfile and subtracted from the root's self time
+        profile_extras: List[Tuple[Tuple[str, ...], float, float]] = []
         if trace:
-            tracer = Tracer(system.next_trace_id(), clock=clock)
+            tracer = Tracer(
+                system.next_trace_id(), clock=clock,
+                cpu_clock=system.cpu_clock if profile else None,
+            )
             # deliberately no worker-count attribute: serial and
             # parallel runs of one campaign must export the same bytes
             root_span = tracer.root(
@@ -259,9 +277,20 @@ class BatchEngine:
         # campaign scope.  A traced cold build hangs its spans (sharded
         # builds emit per-shard children) under the campaign root.
         if tracer is not None and not system.indexer.is_built:
+            build_cpu_start = system.cpu_clock.now() if profile else 0.0
+            build_start = clock.now() if profile else 0.0
             build_branch = tracer.branch()
             system.indexer.build(branch=build_branch, parent=root_span)
             build_branch.commit()
+            # a monolithic cold build emits no spans (sharded builds
+            # do), so attribute its cost via a profile-only stage — it
+            # would otherwise inflate the root's unexplained self time
+            if profile and system.config.num_shards <= 1:
+                profile_extras.append((
+                    ("verify_batch", "index.build"),
+                    clock.now() - build_start,
+                    system.cpu_clock.now() - build_cpu_start,
+                ))
         else:
             system.indexer.build()
 
@@ -328,6 +357,9 @@ class BatchEngine:
                 by_modality: Dict[Modality, List[tuple]] = {}
                 for key in plan_first:  # insertion = input order
                     by_modality.setdefault(key[2], []).append(key)
+                prefill_cpu_start = (
+                    system.cpu_clock.now() if profile else 0.0
+                )
                 prefill_start = clock.now()
                 for modality, keys in by_modality.items():
                     reps = [
@@ -345,13 +377,28 @@ class BatchEngine:
                         registry.counter(
                             "batch.matrix_prefill_failures"
                         ).inc()
+                        events.emit(
+                            "batch.matrix_prefill_failed",
+                            modality=modality.value,
+                            queries=len(keys),
+                        )
                         continue
                     for key, stages in zip(keys, stage_lists):
                         retrieval_cache[key] = stages
                     registry.counter("batch.matrix_batches").inc()
+                prefill_end = clock.now()
                 registry.histogram("pipeline.retrieve_seconds").observe(
-                    clock.now() - prefill_start
+                    prefill_end - prefill_start
                 )
+                if profile:
+                    # the prefill runs inside the root span but emits no
+                    # child span (trace shape must not change); record it
+                    # as a profile-only stage instead
+                    profile_extras.append((
+                        ("verify_batch", "retrieve:prefill"),
+                        prefill_end - prefill_start,
+                        system.cpu_clock.now() - prefill_cpu_start,
+                    ))
 
             def replay_stage_spans(
                 branch, parent, stages: _Stages,
@@ -498,12 +545,24 @@ class BatchEngine:
                         except Exception as exc:
                             if not final_attempt:
                                 registry.counter("batch.retries").inc()
+                                events.emit(
+                                    "batch.retry",
+                                    object_id=(
+                                        object_list[position].object_id
+                                    ),
+                                    attempt=attempt + 1,
+                                )
                                 continue
                             obj = object_list[position]
                             record = records[position]
                             error = format_error(exc)
                             record.mark_failed(error)
                             registry.counter("batch.failed").inc()
+                            events.emit(
+                                "batch.object_failed",
+                                object_id=obj.object_id,
+                                error=error,
+                            )
                             if self.fail_fast:
                                 raise
                             return VerificationReport(
@@ -551,9 +610,15 @@ class BatchEngine:
             )
 
         campaign_trace = None
+        campaign_profile = None
         if tracer is not None:
             tracer.close(root_span)
             campaign_trace = tracer.trace()
+            if profile:
+                campaign_profile = StageProfile.from_trace(
+                    campaign_trace, extras=profile_extras
+                )
         return BatchReport(
-            reports=reports, stats=stats, trace=campaign_trace
+            reports=reports, stats=stats, trace=campaign_trace,
+            profile=campaign_profile,
         )

@@ -20,7 +20,7 @@ from repro.datalake.lake import DataLake
 from repro.datalake.types import DataInstance, Modality
 from repro.index.base import SearchHit
 from repro.llm.model import SimulatedLLM
-from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.clock import Clock, MonotonicClock, ThreadCpuClock
 from repro.obs.metrics import get_registry
 from repro.obs.trace import NULL_BRANCH, Trace, Tracer
 from repro.provenance.generation import GenerationLog
@@ -122,12 +122,16 @@ class VerifAI:
         local_verifiers: Sequence[Verifier] = (),
         source_trust: Optional[Dict[str, float]] = None,
         clock: Optional[Clock] = None,
+        cpu_clock: Optional[Clock] = None,
     ) -> None:
         self.lake = lake
         self.config = config or VerifAIConfig()
         # the one time source for spans and stage timings; tests inject a
         # TickClock so exported traces are byte-stable
         self.clock: Clock = clock or MonotonicClock()
+        # CPU-time source for profiled runs only (verify_batch
+        # profile=True); deterministic tests inject a TickClock here too
+        self.cpu_clock: Clock = cpu_clock or ThreadCpuClock()
         self.metrics = get_registry()
         self._trace_counter = 0
         self._trace_lock = threading.Lock()
@@ -405,6 +409,7 @@ class VerifAI:
         fail_fast: bool = False,
         max_retries: Optional[int] = None,
         trace: bool = False,
+        profile: bool = False,
     ) -> "BatchReport":
         """Verify many objects and summarize the campaign.
 
@@ -421,6 +426,13 @@ class VerifAI:
         ``stats``; ``trace=True`` additionally attaches a campaign-wide
         span tree (``report.trace``) whose export is byte-identical for
         serial and parallel runs under a deterministic clock.
+
+        ``profile=True`` (implies tracing) additionally stamps every
+        span with thread-CPU readings and attaches a
+        :class:`repro.obs.profile.StageProfile` (``report.profile``)
+        attributing the campaign's wall and CPU time to named stages.
+        Profiling is strictly opt-in: the default path builds the exact
+        trace bytes it always has.
         """
         from repro.core.batch import BatchEngine
 
@@ -434,7 +446,7 @@ class VerifAI:
         )
         return engine.run(
             objects, modalities=modalities, k_coarse=k_coarse,
-            k_fine=k_fine, trace=trace,
+            k_fine=k_fine, trace=trace or profile, profile=profile,
         )
 
     def add_instance(self, instance) -> None:
@@ -481,6 +493,9 @@ class BatchReport:
     #: campaign span tree when ``verify_batch(..., trace=True)`` was
     #: asked for (a :class:`repro.obs.trace.Trace`), else ``None``
     trace: Optional[Trace] = None
+    #: per-stage wall/CPU self-time attribution when ``profile=True``
+    #: (a :class:`repro.obs.profile.StageProfile`), else ``None``
+    profile: Optional["object"] = None
 
     def __len__(self) -> int:
         return len(self.reports)

@@ -232,6 +232,7 @@ def _evict_broken_pool(pool: ProcessPoolExecutor) -> None:
     query.  Evict it (unless a racing thread already replaced it),
     count the event, and let the next search respawn a fresh pool.
     """
+    from repro.obs.events import get_event_log
     from repro.obs.metrics import get_registry
 
     with _POOL_LOCK:
@@ -240,6 +241,7 @@ def _evict_broken_pool(pool: ProcessPoolExecutor) -> None:
             _sanitizer.note_write(_POOL, "pool", lock=_POOL_LOCK)
     pool.shutdown(wait=False, cancel_futures=True)
     get_registry().counter("index.executor.pool_broken").inc()
+    get_event_log().emit("executor.pool_broken")
 
 
 def shared_process_pool() -> ProcessPoolExecutor:

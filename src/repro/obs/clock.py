@@ -34,6 +34,21 @@ class MonotonicClock(Clock):
         return time.perf_counter()
 
 
+class ThreadCpuClock(Clock):
+    """CPU-seconds consumed by the *calling thread*.
+
+    The stage profiler reads wall time and CPU time side by side to
+    split "slow because it computed" from "slow because it waited"
+    (GIL, locks, I/O).  Readings are only comparable within one thread —
+    exactly how spans use them: a span opens and closes on the thread
+    that executes its attempt.  Tests substitute a :class:`TickClock`
+    here too, so profiled runs stay deterministic.
+    """
+
+    def now(self) -> float:
+        return time.thread_time()
+
+
 class TickClock(Clock):
     """Deterministic test clock.
 

@@ -27,7 +27,7 @@ _SPAN_KEYS = (
 
 
 def span_to_dict(span: Span) -> Dict[str, object]:
-    return {
+    payload: Dict[str, object] = {
         "span_id": span.span_id,
         "parent_id": span.parent_id,
         "name": span.name,
@@ -41,6 +41,13 @@ def span_to_dict(span: Span) -> Dict[str, object]:
         "record_id": span.record_id,
         "attributes": dict(span.attributes),
     }
+    # CPU stamps exist only on profiled runs; default traces must keep
+    # exporting the exact bytes they always have
+    if span.cpu_start is not None and span.cpu_end is not None:
+        payload["cpu_start"] = span.cpu_start
+        payload["cpu_end"] = span.cpu_end
+        payload["cpu_duration"] = span.cpu_duration
+    return payload
 
 
 def trace_to_dict(trace: Trace) -> Dict[str, object]:

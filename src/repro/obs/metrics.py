@@ -120,14 +120,20 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
         self._sum = 0.0
         self._count = 0
+        # last (label, value) observed per bucket slot; links latency
+        # buckets back to a trace id on the /debug surface — never in
+        # the text exposition, which must stay deterministic
+        self._exemplars: Dict[int, Tuple[str, float]] = {}
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         slot = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[slot] += 1
             self._sum += value
             self._count += 1
+            if exemplar:
+                self._exemplars[slot] = (exemplar, value)
         for scope in self._registry.active_scopes():
             scope.add(f"{self.name}.count", 1)
             scope.add(f"{self.name}.sum", value)
@@ -146,6 +152,22 @@ class Histogram:
         """Per-bucket counts; the last entry is the overflow bucket."""
         with self._lock:
             return list(self._counts)
+
+    def exemplars(self) -> Dict[str, Dict[str, object]]:
+        """Last exemplar seen per bucket, keyed by the bucket's upper
+        bound rendered as a string (``"0.05"``, ``"+Inf"`` for the
+        overflow slot)."""
+        with self._lock:
+            snapshot = dict(self._exemplars)
+        result: Dict[str, Dict[str, object]] = {}
+        for slot in sorted(snapshot):
+            bound = (
+                "+Inf" if slot == len(self.buckets)
+                else repr(self.buckets[slot])
+            )
+            label, value = snapshot[slot]
+            result[bound] = {"label": label, "value": value}
+        return result
 
 
 class MetricsRegistry:
@@ -186,11 +208,30 @@ class MetricsRegistry:
     def histogram(
         self, name: str, buckets: Optional[Sequence[float]] = None
     ) -> Histogram:
-        return self._get_or_create(
+        """Create-or-fetch a histogram.
+
+        ``buckets`` customizes the bounds on first creation (serve
+        request latencies use a finer scheme than ``DEFAULT_BUCKETS``).
+        Passing explicit bounds that disagree with an already-created
+        instrument's raises: two call sites silently observing into
+        differently-bucketed views of one name is exactly the bug
+        per-histogram configuration could otherwise introduce.
+        """
+        histogram = self._get_or_create(
             name,
             lambda: Histogram(name, self, buckets or DEFAULT_BUCKETS),
             Histogram,
         )
+        # empty/None fall back to DEFAULT_BUCKETS (matching the factory
+        # above), so only a real bound list can conflict
+        if buckets:
+            wanted = tuple(sorted(float(b) for b in buckets))
+            if wanted != histogram.buckets:
+                raise ValueError(
+                    f"histogram {name!r} already exists with buckets "
+                    f"{histogram.buckets}, not {wanted}"
+                )
+        return histogram
 
     # ------------------------------------------------------------------
     # scopes

@@ -69,10 +69,22 @@ class Span:
     attributes: Dict[str, AttrValue] = field(default_factory=dict)
     #: chain of sibling indexes from the root; orders spans depth-first
     sort_key: Tuple[int, ...] = ()
+    #: thread-CPU readings, stamped only when the tracer carries a
+    #: ``cpu_clock`` (the opt-in profiling path) — ``None`` otherwise,
+    #: and absent from exports, so default traces are unchanged
+    cpu_start: Optional[float] = None
+    cpu_end: Optional[float] = None
 
     @property
     def duration(self) -> float:
         return max(0.0, self.end - self.start)
+
+    @property
+    def cpu_duration(self) -> Optional[float]:
+        """CPU seconds this span's thread spent inside it, when profiled."""
+        if self.cpu_start is None or self.cpu_end is None:
+            return None
+        return max(0.0, self.cpu_end - self.cpu_start)
 
     @property
     def failed(self) -> bool:
@@ -116,11 +128,24 @@ class Trace:
 
 
 class Tracer:
-    """Builds one trace; thread-safe against concurrent branch commits."""
+    """Builds one trace; thread-safe against concurrent branch commits.
 
-    def __init__(self, trace_id: str, clock: Optional[Clock] = None) -> None:
+    ``cpu_clock`` is the profiling opt-in: when set, every span is
+    additionally stamped with thread-CPU readings on open and close
+    (see :class:`~repro.obs.clock.ThreadCpuClock`).  The default —
+    ``None`` — leaves spans exactly as before, so untraced-by-profile
+    runs export byte-identical traces.
+    """
+
+    def __init__(
+        self,
+        trace_id: str,
+        clock: Optional[Clock] = None,
+        cpu_clock: Optional[Clock] = None,
+    ) -> None:
         self.trace_id = trace_id
         self.clock = clock or MonotonicClock()
+        self.cpu_clock = cpu_clock
         self._spans: List[Span] = []
         self._lock = threading.Lock()
 
@@ -155,6 +180,9 @@ class Tracer:
             record_id=record_id,
             attributes=dict(attributes or {}),
             sort_key=sort_key,
+            cpu_start=(
+                self.cpu_clock.now() if self.cpu_clock is not None else None
+            ),
         )
 
     def root(
@@ -171,6 +199,8 @@ class Tracer:
     def close(self, span: Span, status: str = SPAN_OK, error: str = "") -> None:
         """Stamp a span's end time and final status."""
         span.end = self.clock.now()
+        if self.cpu_clock is not None:
+            span.cpu_end = self.cpu_clock.now()
         span.status = status
         span.error = error
 
@@ -236,15 +266,20 @@ class SpanBranch:
             attributes=attributes, record_id=record_id,
         )
         self._spans.append(span)
+        cpu_clock = self._tracer.cpu_clock
         try:
             yield span
         except BaseException as exc:
             span.end = self._tracer.clock.now()
+            if cpu_clock is not None:
+                span.cpu_end = cpu_clock.now()
             span.status = SPAN_FAILED
             span.error = f"{type(exc).__name__}: {exc}"
             raise
         else:
             span.end = self._tracer.clock.now()
+            if cpu_clock is not None:
+                span.cpu_end = cpu_clock.now()
 
     def commit(self) -> None:
         """Publish this attempt's spans into the trace."""

@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import asyncio
 from contextlib import asynccontextmanager
-from typing import AsyncIterator
+from typing import AsyncIterator, Optional
 
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.events import EventLog, get_event_log
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -50,6 +52,8 @@ class AdmissionController:
         max_queue: int,
         registry: MetricsRegistry,
         retry_after_seconds: float = 1.0,
+        clock: Optional[Clock] = None,
+        events: Optional[EventLog] = None,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(
@@ -61,6 +65,11 @@ class AdmissionController:
         self.max_queue = max_queue
         self.retry_after_seconds = retry_after_seconds
         self._registry = registry
+        # queue waits are timed through the injectable clock (TickClock
+        # in tests); admission decisions go to the flight recorder —
+        # the explicitly passed one, else whichever is installed
+        self._clock = clock or MonotonicClock()
+        self._events = events
         # asyncio.Semaphore wakes waiters in acquisition order: the
         # wait line really is FIFO
         self._semaphore = asyncio.Semaphore(max_concurrency)
@@ -100,9 +109,17 @@ class AdmissionController:
         Raises :class:`ServiceOverloaded` (without waiting) when every
         slot is busy and the wait line is already ``max_queue`` deep.
         """
+        events = self._events if self._events is not None else get_event_log()
         if self._semaphore.locked() and self._queued >= self.max_queue:
             self._registry.counter("serve.shed").inc()
+            events.emit(
+                "admission.shed",
+                inflight=self._inflight,
+                queued=self._queued,
+                retry_after=self.retry_after_seconds,
+            )
             raise ServiceOverloaded(self.retry_after_seconds)
+        enqueued_at = self._clock.now()
         self._queued += 1
         self._set_gauges()
         admitted = False
@@ -115,6 +132,11 @@ class AdmissionController:
                     self._peak_inflight, self._inflight
                 )
                 self._registry.counter("serve.admitted").inc()
+                events.emit(
+                    "admission.admitted",
+                    queue_wait_seconds=self._clock.now() - enqueued_at,
+                    inflight=self._inflight,
+                )
                 self._set_gauges()
                 try:
                     yield

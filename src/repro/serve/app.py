@@ -10,6 +10,8 @@ VerifAI` system behind the HTTP surface in docs/serving.md:
 ``GET /trace/<tid>``      exported span tree of a served request
 ``GET /metrics``          Prometheus text exposition of the registry
 ``GET /healthz``          liveness + admission snapshot
+``GET /debug/events``     flight-recorder dump (JSON or ``?format=jsonl``)
+``GET /debug/profile``    sample stacks for ``?seconds=N``, collapsed
 ========================  =============================================
 
 Concurrency model: the event loop owns parsing, routing, and admission;
@@ -41,8 +43,14 @@ from repro.index.executor import (
     shutdown_process_pool,
 )
 from repro.obs.clock import Clock
+from repro.obs.events import (
+    EventLog,
+    install_event_log,
+    uninstall_event_log,
+)
 from repro.obs.export import trace_to_dict
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import Histogram, get_registry
+from repro.obs.profile import StackSampler
 from repro.serve.admission import AdmissionController, ServiceOverloaded
 from repro.serve.config import ServeConfig, default_pool_start_method
 from repro.serve.http import (
@@ -58,6 +66,16 @@ from repro.serve.protocol import (
     parse_batch,
     parse_object,
     report_to_dict,
+)
+
+
+#: bucket bounds for ``serve.request_seconds`` — finer at the fast end
+#: than the pipeline-wide DEFAULT_BUCKETS, because request latencies are
+#: what the SLO watches; created once in ``__init__`` so any other call
+#: site asking for conflicting bounds fails loudly
+SERVE_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
 
@@ -87,11 +105,23 @@ class VerificationService:
         #: frozen TickClock on both)
         self.clock: Clock = self.config.clock or system.clock
         self.registry = get_registry()
+        #: the flight recorder; installed process-wide while the
+        #: service runs so core/index emitters land here too
+        self.events = EventLog(
+            capacity=self.config.event_log_size, clock=self.clock
+        )
+        #: created once with the serve-specific bucket scheme; later
+        #: callers that disagree on bounds fail loudly in the registry
+        self._request_seconds = self.registry.histogram(
+            "serve.request_seconds", buckets=SERVE_LATENCY_BUCKETS
+        )
         self.admission = AdmissionController(
             self.config.max_concurrency,
             self.config.max_queue,
             self.registry,
             retry_after_seconds=self.config.retry_after_seconds,
+            clock=self.clock,
+            events=self.events,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -122,6 +152,7 @@ class VerificationService:
             warm=warm,
         )
         self.system.build_indexes()
+        install_event_log(self.events)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_concurrency,
             thread_name_prefix="serve-verify",
@@ -147,6 +178,7 @@ class VerificationService:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        uninstall_event_log(self.events)
         shutdown_process_pool()
 
     @property
@@ -221,19 +253,30 @@ class VerificationService:
             response = await handler(request)
         except ServiceOverloaded as exc:
             retry_after = max(1, round(exc.retry_after))
-            return _error_response(
+            response = _error_response(
                 429, str(exc), **{"Retry-After": str(retry_after)}
             )
         except HttpError as exc:
-            return _error_response(exc.status, exc.message)
+            response = _error_response(exc.status, exc.message)
         except BadRequest as exc:
-            return _error_response(400, str(exc))
+            response = _error_response(400, str(exc))
         except Exception as exc:  # the per-request error boundary
             self.registry.counter("serve.errors").inc()
-            return _error_response(500, f"{type(exc).__name__}: {exc}")
-        finally:
-            self.registry.histogram("serve.request_seconds").observe(
-                self.clock.now() - started
+            response = _error_response(500, f"{type(exc).__name__}: {exc}")
+        elapsed = self.clock.now() - started
+        # verify handlers stamp the trace id onto the response; passing
+        # it as the latency exemplar links a slow bucket back to the
+        # exact span tree behind it (surfaced on /debug/events — the
+        # text exposition stays deterministic)
+        trace_id = response.headers.get("X-Trace-Id", "")
+        self._request_seconds.observe(elapsed, exemplar=trace_id or None)
+        if elapsed >= self.config.slow_request_seconds:
+            self.events.emit(
+                "serve.slow_request",
+                route=route,
+                status=response.status,
+                seconds=elapsed,
+                trace_id=trace_id,
             )
         return response
 
@@ -250,6 +293,10 @@ class VerificationService:
             return "metrics", self._handle_metrics, ("GET",)
         if path == "/healthz":
             return "healthz", self._handle_healthz, ("GET",)
+        if path == "/debug/events":
+            return "debug_events", self._handle_debug_events, ("GET",)
+        if path == "/debug/profile":
+            return "debug_profile", self._handle_debug_profile, ("GET",)
         return "unknown", self._handle_unknown, (
             "GET", "POST", "PUT", "DELETE",
         )
@@ -302,7 +349,10 @@ class VerificationService:
                 self._executor, self._run_verify, obj
             )
         trace_id = self._remember_trace(report.trace)
-        return _json_response(200, report_to_dict(report, trace_id))
+        return _json_response(
+            200, report_to_dict(report, trace_id),
+            **{"X-Trace-Id": trace_id},
+        )
 
     async def _handle_verify_batch(self, request: Request) -> Response:
         payload = self._parse_json(request)
@@ -332,7 +382,7 @@ class VerificationService:
             "failed": batch.failed,
             "stats": batch.stats.to_dict() if batch.stats else None,
         }
-        return _json_response(200, body)
+        return _json_response(200, body, **{"X-Trace-Id": trace_id})
 
     # ------------------------------------------------------------------
     # lineage + operational endpoints
@@ -357,6 +407,80 @@ class VerificationService:
     async def _handle_metrics(self, request: Request) -> Response:
         body = render_prometheus(self.registry).encode("utf-8")
         return Response(200, body, content_type=CONTENT_TYPE)
+
+    def _histogram_exemplars(self) -> Dict[str, object]:
+        """bucket-bound -> {label, value} per histogram that has any.
+
+        Exemplars live on the debug surface only; the ``/metrics``
+        exposition stays deterministic and 0.0.4-parseable.
+        """
+        exemplars: Dict[str, object] = {}
+        instruments = self.registry.instruments()
+        for name in sorted(instruments):
+            instrument = instruments[name]
+            if isinstance(instrument, Histogram):
+                found = instrument.exemplars()
+                if found:
+                    exemplars[name] = found
+        return exemplars
+
+    async def _handle_debug_events(self, request: Request) -> Response:
+        raw_n = request.query.get("n")
+        try:
+            n = int(raw_n) if raw_n is not None else None
+        except ValueError:
+            raise BadRequest(f"n must be an integer, got {raw_n!r}")
+        if n is not None and n < 0:
+            raise BadRequest(f"n must be >= 0, got {n}")
+        kind = request.query.get("kind")
+        fmt = request.query.get("format", "json")
+        if fmt == "jsonl":
+            body = self.events.to_jsonl(n=n, kind=kind).encode("utf-8")
+            return Response(
+                200, body, content_type="application/x-ndjson"
+            )
+        if fmt != "json":
+            raise BadRequest(
+                f"format must be 'json' or 'jsonl', got {fmt!r}"
+            )
+        payload = self.events.to_dict(n=n, kind=kind)
+        payload["exemplars"] = self._histogram_exemplars()
+        return _json_response(200, payload)
+
+    async def _handle_debug_profile(self, request: Request) -> Response:
+        raw_seconds = request.query.get("seconds", "1")
+        try:
+            seconds = float(raw_seconds)
+        except ValueError:
+            raise BadRequest(
+                f"seconds must be a number, got {raw_seconds!r}"
+            )
+        if seconds <= 0:
+            raise BadRequest(f"seconds must be > 0, got {seconds:g}")
+        seconds = min(seconds, self.config.debug_profile_max_seconds)
+
+        def sample() -> tuple:
+            sampler = StackSampler(
+                interval=self.config.profile_sample_interval
+            )
+            sampler.sample_for(seconds)
+            return sampler.collapsed(), sampler.sample_count
+
+        # sampling sleeps for the full window — run it on a worker
+        # thread (it occupies one verify slot), never the event loop
+        loop = asyncio.get_running_loop()
+        collapsed, samples = await loop.run_in_executor(
+            self._executor, sample
+        )
+        return Response(
+            200,
+            collapsed.encode("utf-8"),
+            content_type="text/plain; charset=utf-8",
+            headers={
+                "X-Profile-Samples": str(samples),
+                "X-Profile-Seconds": f"{seconds:g}",
+            },
+        )
 
     async def _handle_healthz(self, request: Request) -> Response:
         return _json_response(200, {

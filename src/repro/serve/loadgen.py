@@ -190,6 +190,13 @@ class LoadReport:
     statuses: Dict[int, int]
     latencies: List[float] = field(repr=False, default_factory=list)
     duration_seconds: float = 0.0
+    #: request path -> that route's latencies; a mixed run's overall
+    #: percentiles hide the split between cheap /verify and expensive
+    #: /verify-batch, which is exactly what the per-endpoint breakdown
+    #: in BENCH_serve.json exists to show
+    route_latencies: Dict[str, List[float]] = field(
+        repr=False, default_factory=dict
+    )
 
     @property
     def ok(self) -> int:
@@ -214,6 +221,18 @@ class LoadReport:
     def latency_percentile(self, q: float) -> float:
         return percentile(self.latencies, q)
 
+    def per_endpoint(self) -> Dict[str, Dict[str, object]]:
+        """Path -> {count, p50, p95, p99}, sorted by path."""
+        return {
+            path: {
+                "count": len(self.route_latencies[path]),
+                "p50": percentile(self.route_latencies[path], 50),
+                "p95": percentile(self.route_latencies[path], 95),
+                "p99": percentile(self.route_latencies[path], 99),
+            }
+            for path in sorted(self.route_latencies)
+        }
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "mode": self.mode,
@@ -230,6 +249,7 @@ class LoadReport:
             "latency_p50": self.latency_percentile(50),
             "latency_p95": self.latency_percentile(95),
             "latency_p99": self.latency_percentile(99),
+            "per_endpoint": self.per_endpoint(),
         }
 
     def summary(self) -> str:
@@ -280,6 +300,7 @@ class LoadGenerator:
     ) -> LoadReport:
         statuses: Dict[int, int] = {}
         latencies: List[float] = []
+        by_route: Dict[str, List[float]] = {}
 
         async def client(worker: int) -> None:
             reader, writer = await asyncio.open_connection(
@@ -292,6 +313,7 @@ class LoadGenerator:
                     )
                     statuses[status] = statuses.get(status, 0) + 1
                     latencies.append(latency)
+                    by_route.setdefault(request.path, []).append(latency)
             finally:
                 writer.close()
                 try:
@@ -308,6 +330,7 @@ class LoadGenerator:
             statuses=statuses,
             latencies=latencies,
             duration_seconds=duration,
+            route_latencies=by_route,
         )
 
     def run_closed(
@@ -327,6 +350,7 @@ class LoadGenerator:
     ) -> LoadReport:
         statuses: Dict[int, int] = {}
         latencies: List[float] = []
+        by_route: Dict[str, List[float]] = {}
         loop = asyncio.get_running_loop()
         # pacing reads the loop's timer, not the metrics clock: a frozen
         # TickClock measures latency fine but cannot wake the future
@@ -345,6 +369,7 @@ class LoadGenerator:
                 )
                 statuses[status] = statuses.get(status, 0) + 1
                 latencies.append(latency)
+                by_route.setdefault(request.path, []).append(latency)
             finally:
                 writer.close()
                 try:
@@ -363,6 +388,7 @@ class LoadGenerator:
             statuses=statuses,
             latencies=latencies,
             duration_seconds=duration,
+            route_latencies=by_route,
         )
 
     def run_open(

@@ -456,6 +456,61 @@ def test_obs001_quiet_on_injected_clock():
     assert_quiet("import time\ntime.sleep(0.1)\n", "OBS001")
 
 
+def test_obs001_fires_on_thread_time():
+    assert_fires("import time\ncpu = time.thread_time()\n", "OBS001")
+    assert_fires("import time\nns = time.thread_time_ns()\n", "OBS001")
+    # the clock module is the seam: thread_time is allowed there
+    assert_quiet(
+        "import time\ncpu = time.thread_time()\n",
+        "OBS001", path="src/repro/obs/clock.py",
+    )
+
+
+def test_obs002_fires_on_computed_metric_names():
+    assert_fires(
+        "def track(registry, name):\n"
+        "    registry.counter(name).inc()\n",
+        "OBS002",
+    )
+    assert_fires(
+        "def track(registry, a, b):\n"
+        "    registry.histogram(a + b).observe(1.0)\n",
+        "OBS002",
+    )
+
+
+def test_obs002_fires_on_malformed_literals():
+    # single segment: not component.name
+    assert_fires('registry.counter("hits")\n', "OBS002")
+    # uppercase
+    assert_fires('registry.gauge("Serve.Depth")\n', "OBS002")
+    # f-string without a literal dotted prefix
+    assert_fires(
+        "def track(registry, status):\n"
+        '    registry.counter(f"{status}.responses").inc()\n',
+        "OBS002",
+    )
+
+
+def test_obs002_quiet_on_catalogue_shaped_names():
+    assert_quiet('registry.counter("verifier.cache.hits").inc()\n',
+                 "OBS002")
+    assert_quiet(
+        'registry.histogram("serve.request_seconds", buckets=(1.0,))\n',
+        "OBS002",
+    )
+    # an f-string opening with a literal component prefix stays greppable
+    assert_quiet(
+        "def track(registry, status):\n"
+        '    registry.counter(f"serve.responses.{status}").inc()\n',
+        "OBS002",
+    )
+    # .counter on something that is not an instrument registry-shaped
+    # call with no name argument is not this rule's business
+    assert_quiet("collections.Counter()\n", "OBS002")
+    assert_quiet("registry.counter()\n", "OBS002")
+
+
 # ----------------------------------------------------------------------
 # performance
 # ----------------------------------------------------------------------

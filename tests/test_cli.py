@@ -1,9 +1,14 @@
 """Command-line interface."""
 
+import json
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.datalake.persistence import save_lake
+
+COLLAPSED_LINE = re.compile(r"^[^ ;]+(;[^ ;]+)* \d+$")
 
 
 @pytest.fixture(scope="module")
@@ -259,3 +264,98 @@ class TestShardsFlag:
         assert main(argv + ["--shards", "2"]) == 0
         assert verdict_lines(capsys.readouterr().out) == mono_out
         assert mono_out  # sanity: something was compared
+
+
+class TestProfile:
+    def test_campaign_mode_prints_stage_table_and_stacks(
+        self, lake_path, capsys
+    ):
+        code = main(["profile", "--lake", lake_path, "--sample", "4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "attributed" in output
+        assert "verify_batch" in output
+
+    def test_campaign_out_writes_valid_collapsed_stacks(
+        self, lake_path, tmp_path, capsys
+    ):
+        out = tmp_path / "stacks.txt"
+        code = main([
+            "profile", "--lake", lake_path,
+            "--sample", "3", "--out", str(out),
+        ])
+        assert code == 0
+        assert "collapsed stacks" in capsys.readouterr().out
+        lines = out.read_text(encoding="utf-8").splitlines()
+        assert lines and lines == sorted(lines)
+        for line in lines:
+            assert COLLAPSED_LINE.match(line), line
+
+    def test_sampler_mode_passes_through_the_exit_code(
+        self, lake_path, capsys
+    ):
+        code = main(["profile", "--", "stats", "--lake", lake_path])
+        assert code == 0
+        assert "tables:" in capsys.readouterr().out
+
+    def test_both_modes_at_once_is_a_usage_error(self, lake_path, capsys):
+        code = main([
+            "profile", "--lake", lake_path,
+            "--", "stats", "--lake", lake_path,
+        ])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_neither_mode_is_a_usage_error(self, capsys):
+        assert main(["profile"]) == 2
+        assert "required" in capsys.readouterr().err
+
+
+class TestBenchDiff:
+    @staticmethod
+    def write_snapshot(path, mean):
+        payload = {"benchmarks": [{
+            "name": "fast",
+            "fullname": "t::fast",
+            "stats": {"mean": mean},
+        }]}
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_self_compare_exits_zero(self, tmp_path, capsys):
+        old = self.write_snapshot(tmp_path / "old.json", 0.10)
+        assert main(["bench", "diff", old, old]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exits_one_and_names_the_benchmark(
+        self, tmp_path, capsys
+    ):
+        old = self.write_snapshot(tmp_path / "old.json", 0.10)
+        new = self.write_snapshot(tmp_path / "new.json", 0.12)  # +20%
+        code = main(["bench", "diff", old, new, "--threshold", "15"])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "REGRESSION" in output
+        assert "t::fast" in output
+
+    def test_threshold_tolerates_noise(self, tmp_path, capsys):
+        old = self.write_snapshot(tmp_path / "old.json", 0.10)
+        new = self.write_snapshot(tmp_path / "new.json", 0.12)
+        assert main(
+            ["bench", "diff", old, new, "--threshold", "25"]
+        ) == 0
+
+    def test_json_output_is_parseable(self, tmp_path, capsys):
+        old = self.write_snapshot(tmp_path / "old.json", 0.10)
+        new = self.write_snapshot(tmp_path / "new.json", 0.12)
+        code = main([
+            "bench", "diff", old, new, "--threshold", "15", "--json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deltas"][0]["status"] == "regression"
+
+    def test_missing_snapshot_is_a_usage_error(self, tmp_path, capsys):
+        absent = str(tmp_path / "absent.json")
+        assert main(["bench", "diff", absent, absent]) == 2
+        assert "bench diff" in capsys.readouterr().err

@@ -9,6 +9,8 @@ tests/test_serve_admission.py.
 
 import http.client
 import json
+import re
+import threading
 
 import pytest
 
@@ -16,7 +18,12 @@ from repro.core.pipeline import VerifAI
 from repro.obs.clock import TickClock
 from repro.obs.export import validate_trace
 from repro.serve import ServeConfig, ServerThread, VerificationService
+from repro.serve.app import SERVE_LATENCY_BUCKETS
+from repro.serve.prometheus import _format_bound
 from repro.workloads.builder import LakeConfig, build_lake
+
+#: one collapsed-stack line: frame(;frame)* <integer>
+COLLAPSED_LINE = re.compile(r"^[^ ;]+(;[^ ;]+)* \d+$")
 
 
 @pytest.fixture(scope="module")
@@ -31,6 +38,8 @@ def served():
         max_body_bytes=64 * 1024,
         max_batch_objects=8,
         trace_cache_size=4,
+        event_log_size=256,
+        debug_profile_max_seconds=0.2,
         clock=clock,
     )
     service = VerificationService(system, config)
@@ -335,6 +344,30 @@ class TestMetrics:
                  if line.startswith("# TYPE")]
         assert names == sorted(names)
 
+    def test_request_histogram_uses_the_serve_bucket_scheme(self, served):
+        """serve.request_seconds exposes exactly SERVE_LATENCY_BUCKETS
+        (plus +Inf) — the per-histogram bucket configuration, observed
+        end to end through the 0.0.4 exposition."""
+        server, service, _ = served
+        _, _, body = request(server, "GET", "/metrics")
+        lines = body.decode("utf-8").splitlines()
+        bounds = [
+            line.split('le="', 1)[1].split('"', 1)[0] for line in lines
+            if line.startswith("repro_serve_request_seconds_bucket")
+        ]
+        expected = [_format_bound(b) for b in SERVE_LATENCY_BUCKETS]
+        assert bounds == expected + ["+Inf"]
+        # and the live instrument agrees with the module constant
+        histogram = service.registry.histogram("serve.request_seconds")
+        assert histogram.buckets == SERVE_LATENCY_BUCKETS
+
+    def test_conflicting_bucket_request_fails_loudly(self, served):
+        _, service, _ = served
+        with pytest.raises(ValueError):
+            service.registry.histogram(
+                "serve.request_seconds", buckets=(1.0, 2.0)
+            )
+
     def test_latency_metric_uses_injected_clock(self, served):
         """Request timing flows through the TickClock the test pinned,
         not the wall clock: the histogram sum moves in exact 0.001-step
@@ -347,3 +380,174 @@ class TestMetrics:
         ticks = round((after - before) / 0.001)
         assert ticks >= 1
         assert after - before == pytest.approx(ticks * 0.001)
+
+
+# ----------------------------------------------------------------------
+# flight recorder + sampling profiler over the wire
+# ----------------------------------------------------------------------
+class TestDebugEndpoints:
+    def test_verify_responses_carry_the_trace_id_header(self, served):
+        server, _, _ = served
+        status, headers, body = request(
+            server, "POST", "/verify",
+            {"kind": "claim", "text": "header probe"},
+        )
+        assert status == 200
+        assert headers["x-trace-id"] == body["trace_id"]
+
+    def test_debug_events_dumps_admission_decisions(self, served):
+        server, service, _ = served
+        request(server, "POST", "/verify", {"kind": "claim", "text": "e"})
+        status, _, body = request(server, "GET", "/debug/events")
+        assert status == 200
+        assert body["capacity"] == 256
+        assert body["count"] == len(body["events"])
+        kinds = {e["kind"] for e in body["events"]}
+        assert "admission.admitted" in kinds
+        admitted = next(
+            e for e in body["events"]
+            if e["kind"] == "admission.admitted"
+        )
+        assert "queue_wait_seconds" in admitted["fields"]
+        # seq strictly increasing: readers can detect overwrites
+        seqs = [e["seq"] for e in body["events"]]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_debug_events_links_exemplars_to_trace_ids(self, served):
+        server, _, _ = served
+        _, _, verified = request(
+            server, "POST", "/verify",
+            {"kind": "claim", "text": "exemplar probe"},
+        )
+        _, _, body = request(server, "GET", "/debug/events")
+        exemplars = body["exemplars"]["serve.request_seconds"]
+        labels = {entry["label"] for entry in exemplars.values()}
+        assert verified["trace_id"] in labels
+        for entry in exemplars.values():
+            assert entry["label"].startswith("trace-")
+            assert entry["value"] >= 0.0
+
+    def test_debug_events_kind_and_n_filters(self, served):
+        server, _, _ = served
+        request(server, "POST", "/verify", {"kind": "claim", "text": "f"})
+        status, _, body = request(
+            server, "GET", "/debug/events?kind=admission"
+        )
+        assert status == 200
+        assert body["events"]
+        assert all(
+            e["kind"].startswith("admission.") for e in body["events"]
+        )
+        status, _, body = request(server, "GET", "/debug/events?n=2")
+        assert status == 200
+        assert body["count"] <= 2
+
+    def test_debug_events_jsonl_export(self, served):
+        server, _, _ = served
+        request(server, "POST", "/verify", {"kind": "claim", "text": "j"})
+        status, headers, body = request(
+            server, "GET", "/debug/events?format=jsonl&kind=admission"
+        )
+        assert status == 200
+        assert headers["content-type"].startswith("application/x-ndjson")
+        lines = body.decode("utf-8").splitlines()
+        assert lines
+        for line in lines:
+            decoded = json.loads(line)
+            assert list(decoded) == sorted(decoded)
+            assert decoded["kind"].startswith("admission.")
+
+    @pytest.mark.parametrize("path,fragment", [
+        ("/debug/events?n=abc", "integer"),
+        ("/debug/events?n=-1", ">= 0"),
+        ("/debug/events?format=xml", "format"),
+        ("/debug/profile?seconds=abc", "number"),
+        ("/debug/profile?seconds=0", "> 0"),
+    ])
+    def test_debug_param_validation_400(self, served, path, fragment):
+        server, _, _ = served
+        status, _, body = request(server, "GET", path)
+        assert status == 400
+        assert fragment in body["error"]
+
+    def test_debug_profile_returns_collapsed_stacks(self, served):
+        server, _, _ = served
+        status, headers, body = request(
+            server, "GET", "/debug/profile?seconds=0.05"
+        )
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        assert int(headers["x-profile-samples"]) >= 0
+        assert headers["x-profile-seconds"] == "0.05"
+        for line in body.decode("utf-8").splitlines():
+            assert COLLAPSED_LINE.match(line), line
+
+    def test_debug_profile_clamps_to_the_configured_ceiling(self, served):
+        server, _, _ = served
+        status, headers, _ = request(
+            server, "GET", "/debug/profile?seconds=60"
+        )
+        assert status == 200
+        assert headers["x-profile-seconds"] == "0.2"
+
+
+class TestConcurrentLoad:
+    def test_metrics_and_events_stay_consistent_under_load(self, served):
+        """Verify traffic races /metrics and /debug/events readers:
+        every request succeeds, the exposition stays parseable
+        mid-traffic, the ring bound holds, and no event is lost below
+        capacity."""
+        server, service, _ = served
+        seq_before = service.events.last_seq
+        verifies, failures = 6 * 5, []
+
+        def write(worker):
+            for i in range(5):
+                status, _, _ = request(
+                    server, "POST", "/verify",
+                    {"kind": "claim", "text": f"load {worker}-{i}"},
+                )
+                if status != 200:
+                    failures.append(("verify", status))
+
+        def read(path):
+            for _ in range(8):
+                status, _, body = request(server, "GET", path)
+                if status != 200:
+                    failures.append((path, status))
+                    continue
+                if path == "/metrics":
+                    lines = body.decode("utf-8").splitlines()
+                    buckets = [
+                        int(line.rsplit(" ", 1)[1]) for line in lines
+                        if line.startswith(
+                            "repro_serve_request_seconds_bucket"
+                        )
+                    ]
+                    # cumulative mid-traffic, every scrape
+                    if buckets != sorted(buckets):
+                        failures.append(("monotonicity", buckets))
+                else:
+                    seqs = [e["seq"] for e in body["events"]]
+                    if seqs != sorted(seqs):
+                        failures.append(("seq-order", seqs))
+
+        threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(6)
+        ] + [
+            threading.Thread(target=read, args=(path,))
+            for path in ("/metrics", "/debug/events")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert failures == []
+        # one admission.admitted per verify landed in the recorder
+        emitted = service.events.last_seq - seq_before
+        assert emitted >= verifies
+        assert len(service.events) <= service.events.capacity
+        if service.events.last_seq <= service.events.capacity:
+            assert service.events.dropped == 0

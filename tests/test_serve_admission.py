@@ -261,6 +261,25 @@ class TestBoundedConcurrency:
         assert len(report.latencies) == 6
         assert report.mode == "open[200/s]"
 
+    def test_per_endpoint_breakdown_partitions_latencies(
+        self, width2_served
+    ):
+        """The per-route breakdown (what BENCH_serve.json commits)
+        accounts for every timed request, keyed by the actual paths in
+        the mix."""
+        server, _, bundle = width2_served
+        host, port = server.address
+        mix = build_request_mix(bundle.lake, 18, seed=7)
+        report = LoadGenerator(host, port).run_closed(mix, clients=4)
+        breakdown = report.per_endpoint()
+        assert set(breakdown) == {r.path for r in mix}
+        assert sum(b["count"] for b in breakdown.values()) == (
+            len(report.latencies)
+        )
+        for stats in breakdown.values():
+            assert 0 <= stats["p50"] <= stats["p95"] <= stats["p99"]
+        assert report.to_dict()["per_endpoint"] == breakdown
+
 
 # ----------------------------------------------------------------------
 # the load harness itself
