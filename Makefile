@@ -1,6 +1,6 @@
 # Convenience targets for the VerifAI reproduction.
 
-.PHONY: install check test test-faults test-obs test-shard serve-test serve-demo trace-demo bench bench-quick bench-check bench-batch bench-serve bench-shard bench-paper experiments examples lint lint-json sanitize
+.PHONY: install check test test-faults test-obs test-shard serve-test serve-demo trace-demo loop-demo bench bench-quick bench-check bench-batch bench-serve bench-shard bench-loop bench-paper experiments examples lint lint-json sanitize coverage
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,7 +11,7 @@ install:
 # proofs behind the benchmark claims, the benchmark regression gate's
 # self-consistency check, and the concurrency suites under the lockset
 # race sanitizer
-check: lint test-obs serve-test test test-shard bench-quick bench-check sanitize
+check: lint test-obs serve-test test test-shard bench-quick bench-check sanitize coverage
 
 # tests/ includes tests/test_batch_faults.py, the fault-isolation suite
 # for verification campaigns (poisoned objects, retries, fail_fast, and
@@ -57,8 +57,22 @@ trace-demo:
 		--trace /tmp/repro-trace.json
 	PYTHONPATH=src python -m repro.cli trace /tmp/repro-trace.json
 
+# the stdlib line-coverage gate (no coverage.py in the image): rerun
+# the suites that exercise the orchestration loop and the repairer in a
+# fresh interpreter under the settrace tracer, failing (exit 4) if any
+# measured file dips below the committed 90% floor
+coverage:
+	PYTHONPATH=src python -m repro.cli coverage --floor 0.9 -- -q \
+		tests/test_loop.py tests/test_repair.py tests/test_llm_model.py
+
 lint:
 	PYTHONPATH=src python -m repro.cli lint --baseline lint_baseline.json src/repro
+
+# orchestrate-until-pass demo: run the default convergence mix and
+# print per-round verdict deltas plus the mix summary (write audit
+# trails with --trail DIR)
+loop-demo:
+	PYTHONPATH=src python -m repro.cli orchestrate --max-iters 4
 
 lint-json:
 	PYTHONPATH=src python -m repro.cli lint --json --baseline lint_baseline.json src/repro
@@ -99,6 +113,13 @@ bench-serve:
 bench-shard:
 	pytest benchmarks/test_bench_shard.py --benchmark-only \
 		--benchmark-json=BENCH_shard.json
+
+# the convergence campaign as a tracked benchmark: wall time of the
+# default scenario mix, with the accuracy lift and iteration stats
+# recorded in extra_info and gated by `repro bench diff`
+bench-loop:
+	PYTHONPATH=src pytest benchmarks/test_bench_loop.py --benchmark-only \
+		--benchmark-json=BENCH_loop.json
 
 bench-paper:
 	REPRO_SCALE=paper pytest benchmarks/ --benchmark-only

@@ -1,0 +1,42 @@
+"""Convergence-campaign benchmark: the numbers ``BENCH_loop.json`` tracks.
+
+One end-to-end run of the default orchestrate-until-pass scenario mix
+(hallucination-rate x lake-coverage grid), timed as a whole.  The wall
+time is the tracked statistic; the convergence story — first-pass vs
+end-state accuracy, convergence rate, mean iterations to pass — is
+stamped into ``extra_info`` so a baseline whose accuracy lift drifted
+is visible next to the timing, and the issue's acceptance bar
+(<=0.6 first pass, >=0.9 end state within max_iters=4) is asserted on
+every refresh.  ``make bench-loop`` writes the JSON; ``make
+bench-check`` gates it.
+"""
+
+from repro.loop import run_mix
+
+from benchmarks.conftest import run_once
+
+MAX_ITERS = 4
+
+
+def test_bench_loop_default_mix(benchmark):
+    report = run_once(benchmark, run_mix, max_iters=MAX_ITERS)
+    payload = report.to_dict()
+    benchmark.extra_info["max_iters"] = MAX_ITERS
+    benchmark.extra_info["tasks"] = report.tasks
+    benchmark.extra_info["first_pass_accuracy"] = payload["first_pass_accuracy"]
+    benchmark.extra_info["end_accuracy"] = payload["end_accuracy"]
+    benchmark.extra_info["convergence_rate"] = payload["convergence_rate"]
+    benchmark.extra_info["mean_iterations_to_pass"] = payload[
+        "mean_iterations_to_pass"
+    ]
+    benchmark.extra_info["scenarios"] = {
+        entry["name"]: {
+            "first_pass_accuracy": entry["first_pass_accuracy"],
+            "end_accuracy": entry["end_accuracy"],
+            "rounds": len(entry["rounds"]),
+        }
+        for entry in payload["scenarios"]
+    }
+    # the acceptance bar rides along with every BENCH refresh
+    assert report.first_pass_accuracy <= 0.6
+    assert report.end_accuracy >= 0.9

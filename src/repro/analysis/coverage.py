@@ -1,0 +1,32 @@
+"""Package-namespace re-export of the line-coverage tracer.
+
+The implementation lives in the top-level :mod:`repro_coverage` module
+(next to the ``repro`` package under ``src/``) because the pytest
+plugin must be importable *without* triggering ``repro/__init__`` —
+otherwise the measured modules would be imported before tracing starts
+and their import-time lines could never be counted.  Library users
+import from here; the ``repro coverage`` CLI and ``make coverage``
+load the plugin as ``-p repro_coverage``.
+"""
+
+from repro_coverage import (
+    COVERAGE_EXIT_STATUS,
+    ENV_FLOOR,
+    ENV_TARGETS,
+    PRAGMA,
+    CoverageReport,
+    FileCoverage,
+    LineTracer,
+    executable_lines,
+)
+
+__all__ = [
+    "COVERAGE_EXIT_STATUS",
+    "CoverageReport",
+    "ENV_FLOOR",
+    "ENV_TARGETS",
+    "FileCoverage",
+    "LineTracer",
+    "PRAGMA",
+    "executable_lines",
+]

@@ -20,6 +20,9 @@ Subcommands::
     repro lint        [--json] [--baseline lint_baseline.json]
                       [--changed] [--cache] [paths...]
     repro sanitize    -- [pytest args...]
+    repro coverage    [--floor 0.9] [--target PATH ...] -- [pytest args...]
+    repro orchestrate [--scenario NAME] [--max-iters 4] [--workers 1]
+                      [--trail PATH] [--json]
 
 Installed as ``python -m repro.cli`` (no console-script entry point to
 keep the package dependency-free).
@@ -448,6 +451,82 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    # a fresh interpreter, so the measured modules are imported *under*
+    # the tracer (the plugin starts tracing at import, before conftest
+    # files pull in the repro package)
+    import os
+    import subprocess
+    from pathlib import Path
+
+    pytest_args = list(args.pytest_args)
+    if pytest_args[:1] == ["--"]:
+        pytest_args = pytest_args[1:]
+    targets = args.target or ["src/repro/loop", "src/repro/repair.py"]
+    package_root = str(Path(__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (package_root, env.get("PYTHONPATH", "")) if p
+    )
+    env["REPRO_COVERAGE_TARGETS"] = os.pathsep.join(targets)
+    env["REPRO_COVERAGE_FLOOR"] = str(args.floor)
+    command = [
+        sys.executable, "-m", "pytest",
+        "-p", "repro_coverage", *pytest_args,
+    ]
+    try:
+        return subprocess.call(command, env=env)
+    except OSError as exc:  # pragma: no cover - interpreter missing
+        print(f"repro-coverage: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_orchestrate(args: argparse.Namespace) -> int:
+    import json as json_module
+    import os
+
+    from repro.loop import DEFAULT_MIX, MixReport, run_scenario
+
+    scenarios = list(DEFAULT_MIX)
+    if args.scenario is not None:
+        scenarios = [s for s in scenarios if s.name == args.scenario]
+        if not scenarios:
+            names = ", ".join(s.name for s in DEFAULT_MIX)
+            print(
+                f"unknown scenario {args.scenario!r}; choose from: {names}",
+                file=sys.stderr,
+            )
+            return 2
+    report = MixReport()
+    for scenario in scenarios:
+        result = run_scenario(
+            scenario, max_iters=args.max_iters, max_workers=args.workers
+        )
+        report.results.append(result)
+        if args.trail is not None:
+            if len(scenarios) == 1:
+                path = args.trail
+            else:
+                os.makedirs(args.trail, exist_ok=True)
+                path = os.path.join(args.trail, f"{scenario.name}.jsonl")
+            result.result.trail.write(path)
+            if not args.json:
+                print(f"wrote trail: {path}")
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    for result in report:
+        print(f"{result.scenario.name}: {result.result.summary()}")
+        for stats in result.result.rounds:
+            print(
+                f"  round {stats.round}: {stats.active} active -> "
+                f"{stats.verified} verified, {stats.refuted} refuted, "
+                f"{stats.unresolved} unresolved"
+            )
+    print(report.summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="VerifAI: verified generative AI"
@@ -681,6 +760,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments forwarded to pytest (prefix with --)",
     )
     p.set_defaults(func=_cmd_sanitize)
+
+    p = sub.add_parser(
+        "coverage",
+        help="run pytest under the stdlib line-coverage tracer with a "
+             "floor gate (repro coverage -- <pytest args>)",
+    )
+    p.add_argument(
+        "--floor", type=float, default=0.9,
+        help="minimum per-file line rate (0..1, default 0.9)",
+    )
+    p.add_argument(
+        "--target", action="append", default=None, metavar="PATH",
+        help="file or directory to measure (repeatable; default: "
+             "src/repro/loop and src/repro/repair.py)",
+    )
+    p.add_argument(
+        "pytest_args", nargs=argparse.REMAINDER,
+        help="arguments after -- go to pytest verbatim",
+    )
+    p.set_defaults(func=_cmd_coverage)
+
+    p = sub.add_parser(
+        "orchestrate",
+        help="run the orchestrate-until-pass convergence campaign "
+             "(default: the full seeded scenario mix)",
+    )
+    p.add_argument(
+        "--scenario", default=None,
+        help="run a single named scenario from the default mix",
+    )
+    p.add_argument("--max-iters", type=int, default=4)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="verify_batch workers (the trail bytes do not depend on this)",
+    )
+    p.add_argument(
+        "--trail", default=None, metavar="PATH",
+        help="write the JSONL audit trail (a file for one scenario, a "
+             "directory for a mix)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_orchestrate)
 
     return parser
 

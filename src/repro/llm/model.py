@@ -27,6 +27,7 @@ from repro.llm.prompts import (
     CLAIM_QA_MARKER,
     COMPLETION_MARKER,
     VERIFICATION_MARKER,
+    split_feedback,
     split_sections,
 )
 from repro.llm.reasoning import NoisyClaimReasoner
@@ -119,6 +120,7 @@ class SimulatedLLM:
     def _handle_completion(self, prompt: str) -> str:
         if self.knowledge is None:
             return "I do not have enough information to complete this table."
+        feedback, iteration = split_feedback(prompt)
         caption = ""
         table_lines: List[str] = []
         for line in prompt.splitlines():
@@ -139,6 +141,11 @@ class SimulatedLLM:
                 if cell != "NaN":
                     continue
                 column = header[index]
+                if column in feedback:
+                    cells[index] = self._revise_cell(
+                        caption, key_value, column, feedback[column], iteration
+                    )
+                    continue
                 recalled = self.knowledge.recall_cell(caption, key_value, column)
                 if recalled is None:
                     rng = rng_for(self.seed, "hallucinate", caption, key_value, column)
@@ -147,6 +154,36 @@ class SimulatedLLM:
             out_lines.append(" | ".join(cells))
         out_lines.append("All missing values have been filled in.")
         return "\n".join(out_lines)
+
+    def _revise_cell(
+        self,
+        caption: str,
+        key_value: str,
+        column: str,
+        stated: Optional[str],
+        iteration: int,
+    ) -> str:
+        """Answer a disputed cell on a revision round.
+
+        When the verifier's feedback quotes the refuting evidence's
+        value, the model adopts it (the grounded path).  When the
+        feedback only says the draft failed, the model abandons its
+        (already-disputed) memory and guesses again — with an rng keyed
+        on the iteration, so each retry is a fresh deterministic draw
+        rather than a repeat of the same wrong answer.  Attempt 0 keys
+        are untouched, preserving first-draft reproducibility.
+        """
+        if stated is not None:
+            return stated
+        rng = rng_for(
+            self.seed,
+            "hallucinate",
+            caption,
+            key_value,
+            column,
+            f"attempt={iteration}",
+        )
+        return self.knowledge.hallucinate_value(caption, column, rng)
 
     # ------------------------------------------------------------------
     # claim QA without evidence (headline numbers)

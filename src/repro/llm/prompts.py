@@ -9,6 +9,7 @@ brittleness boundary a production deployment has.
 
 from __future__ import annotations
 
+import ast
 import re
 from typing import List, Optional, Tuple
 
@@ -18,6 +19,8 @@ from repro.datalake.types import Row, Table
 COMPLETION_MARKER = "Please fill the missing values, annotated by NaN."
 VERIFICATION_MARKER = "Please use the evidence below to validate the generative data."
 CLAIM_QA_MARKER = "Answer with true or false."
+FEEDBACK_MARKER = "Verifier feedback:"
+REVISION_MARKER = "Please revise your previous answer using the feedback."
 
 
 # ---------------------------------------------------------------------------
@@ -36,6 +39,51 @@ def tuple_completion_prompt(
     ]
     lines.extend(" | ".join(row) for row in rows)
     lines.append(COMPLETION_MARKER)
+    return "\n".join(lines)
+
+
+def tuple_revision_prompt(
+    caption: str,
+    columns: Tuple[str, ...],
+    rows: List[Tuple[str, ...]],
+    feedback: List[Tuple[str, Optional[str], str]],
+    iteration: int,
+) -> str:
+    """An orchestrate-until-pass retry of the tuple-completion prompt.
+
+    The original question (with the disputed cell re-masked to NaN) is
+    repeated verbatim, followed by one feedback line per disputed
+    column.  Each feedback item is ``(column, stated_value, note)``:
+    when verification REFUTED the draft and the strongest refuting
+    evidence states a value, ``stated_value`` carries it (the note is
+    ignored); otherwise ``stated_value`` is None and ``note`` explains
+    why the draft failed ("no related evidence was found", ...).
+
+    ``iteration`` is stamped into the prompt so the retry is a
+    *different* prompt from the first attempt — a model whose answers
+    are a deterministic function of the prompt may then answer
+    differently (see :meth:`repro.llm.model.SimulatedLLM.chat`).
+    """
+    if iteration < 1:
+        raise ValueError(f"iteration must be >= 1, got {iteration}")
+    lines = [
+        "Question:",
+        f"Table name: {caption}",
+        " | ".join(columns),
+    ]
+    lines.extend(" | ".join(row) for row in rows)
+    lines.append(COMPLETION_MARKER)
+    lines.append(FEEDBACK_MARKER)
+    for column, stated, note in feedback:
+        if stated is not None:
+            lines.append(
+                f"- {column}: refuted; the evidence states "
+                f"{column} = {stated!r}"
+            )
+        else:
+            lines.append(f"- {column}: {note}")
+    lines.append(f"Iteration: {iteration}")
+    lines.append(REVISION_MARKER)
     return "\n".join(lines)
 
 
@@ -144,6 +192,50 @@ def parse_completed_table(
 # ---------------------------------------------------------------------------
 # prompt structure extraction (used by the simulated model itself)
 # ---------------------------------------------------------------------------
+_FEEDBACK_VALUE_RE = re.compile(
+    r"^- (?P<column>.+?): refuted; the evidence states .+? = (?P<value>.+)$"
+)
+_FEEDBACK_NOTE_RE = re.compile(r"^- (?P<column>.+?): (?P<note>.+)$")
+_ITERATION_RE = re.compile(r"^Iteration:\s*(\d+)$")
+
+
+def split_feedback(prompt: str) -> Tuple[dict, int]:
+    """Extract ``({column: stated value or None}, iteration)`` from a
+    revision prompt; ``({}, 0)`` for a plain completion prompt.
+
+    The inverse of :func:`tuple_revision_prompt`'s feedback section —
+    the simulated model reads the verifier's findings back through the
+    same free-text boundary a hosted model would.
+    """
+    feedback: dict = {}
+    iteration = 0
+    in_feedback = False
+    for line in prompt.splitlines():
+        stripped = line.strip()
+        if stripped == FEEDBACK_MARKER:
+            in_feedback = True
+            continue
+        match = _ITERATION_RE.match(stripped)
+        if match:
+            iteration = int(match.group(1))
+            in_feedback = False
+            continue
+        if not in_feedback or not stripped.startswith("- "):
+            continue
+        match = _FEEDBACK_VALUE_RE.match(stripped)
+        if match:
+            try:
+                value = ast.literal_eval(match.group("value"))
+            except (SyntaxError, ValueError):
+                value = match.group("value")
+            feedback[match.group("column")] = str(value)
+            continue
+        match = _FEEDBACK_NOTE_RE.match(stripped)
+        if match:
+            feedback.setdefault(match.group("column"), None)
+    return feedback, iteration
+
+
 def split_sections(prompt: str) -> dict:
     """Split a verification prompt into its labelled sections."""
     sections = {"evidence": "", "data": "", "attribute": None, "context": None}

@@ -1,0 +1,45 @@
+"""Orchestrate-until-pass: closing the generate -> verify -> repair loop.
+
+* :mod:`repro.loop.orchestrator` — the loop driver (draft, verify via
+  ``verify_batch``, feed refuter evidence back as revision prompts);
+* :mod:`repro.loop.trail` — the byte-stable JSONL audit trail;
+* :mod:`repro.loop.scenarios` — the seeded convergence harness.
+"""
+
+from repro.loop.orchestrator import (
+    DraftSpec,
+    LoopConfig,
+    LoopOrchestrator,
+    LoopResult,
+    RoundStats,
+    TaskOutcome,
+    TaskState,
+)
+from repro.loop.scenarios import (
+    DEFAULT_MIX,
+    MixReport,
+    Scenario,
+    ScenarioResult,
+    run_mix,
+    run_scenario,
+)
+from repro.loop.trail import SCHEMA, AuditTrail, read_trail
+
+__all__ = [
+    "AuditTrail",
+    "DEFAULT_MIX",
+    "DraftSpec",
+    "LoopConfig",
+    "LoopOrchestrator",
+    "LoopResult",
+    "MixReport",
+    "RoundStats",
+    "SCHEMA",
+    "Scenario",
+    "ScenarioResult",
+    "TaskOutcome",
+    "TaskState",
+    "read_trail",
+    "run_mix",
+    "run_scenario",
+]

@@ -82,6 +82,41 @@ class RepairReport:
         )
 
 
+def strongest_refuter(
+    system: VerifAI, report, column: str
+) -> Optional[tuple]:
+    """(value, evidence_id) stated by the strongest refuting tuple.
+
+    "Strongest" means highest source trust (the same trust scores the
+    verifier's vote uses, default 1.0), with evidence_id as a
+    deterministic tie-break — so repairs prefer values from trusted
+    sources rather than whichever refuter happened to come first in
+    evidence order.  None when no refuting tuple states a value for
+    ``column``.
+
+    Shared between single-pass repair (:class:`Repairer`) and the
+    orchestrate-until-pass loop (:mod:`repro.loop`), which quotes the
+    value back to the generator instead of patching it in place.
+    """
+    verifier = system.verifier
+    candidates = []
+    for outcome in report.refuting:
+        evidence = system.lake.instance(outcome.evidence_id)
+        if isinstance(evidence, Row):
+            value = evidence.get(column)
+            if value is not None:
+                trust = verifier.source_trust.get(
+                    verifier.source_of(evidence), 1.0
+                )
+                candidates.append(
+                    (-trust, outcome.evidence_id, value)
+                )
+    if not candidates:
+        return None
+    _, evidence_id, value = min(candidates)
+    return value, evidence_id
+
+
 class Repairer:
     """Verify-and-repair over imputed tuples."""
 
@@ -89,31 +124,9 @@ class Repairer:
         self.system = system
 
     def _evidence_value(self, report, column: str) -> Optional[tuple]:
-        """(value, evidence_id) stated by the strongest refuting tuple.
-
-        "Strongest" means highest source trust (the same trust scores
-        the verifier's vote uses, default 1.0), with evidence_id as a
-        deterministic tie-break — so repairs prefer values from trusted
-        sources rather than whichever refuter happened to come first in
-        evidence order.
-        """
-        verifier = self.system.verifier
-        candidates = []
-        for outcome in report.refuting:
-            evidence = self.system.lake.instance(outcome.evidence_id)
-            if isinstance(evidence, Row):
-                value = evidence.get(column)
-                if value is not None:
-                    trust = verifier.source_trust.get(
-                        verifier.source_of(evidence), 1.0
-                    )
-                    candidates.append(
-                        (-trust, outcome.evidence_id, value)
-                    )
-        if not candidates:
-            return None
-        _, evidence_id, value = min(candidates)
-        return value, evidence_id
+        """See :func:`strongest_refuter` — kept as a method for callers
+        that hold a :class:`Repairer`."""
+        return strongest_refuter(self.system, report, column)
 
     def repair_value(
         self,

@@ -11,7 +11,9 @@ from repro.llm.prompts import (
     parse_boolean_response,
     parse_completed_table,
     parse_verification_response,
+    split_feedback,
     tuple_completion_prompt,
+    tuple_revision_prompt,
     verification_prompt,
 )
 
@@ -87,6 +89,119 @@ class TestTupleCompletion:
             tuple_completion_prompt("cap", ("a",), [("NaN",)])
         )
         assert "enough information" in response
+
+
+@pytest.fixture()
+def amnesic_llm(election_table, quiet_profile):
+    """No memory at all: every fill is a hallucination from the domain."""
+    knowledge = WorldKnowledge(
+        [election_table], coverage=0.0, wrong_rate=0.0, confusion_rate=0.0,
+    )
+    return SimulatedLLM(knowledge=knowledge, profile=quiet_profile, seed=1)
+
+
+class TestRevisionPrompts:
+    """Retry-aware chat: feedback adoption and attempt-keyed rng."""
+
+    def _revision(self, table, feedback, iteration=1, column="votes"):
+        masked = table.row(0).replace_value(column, "NaN")
+        return tuple_revision_prompt(
+            table.caption, masked.columns, [masked.values],
+            feedback, iteration,
+        )
+
+    def test_iteration_must_be_positive(self, election_table):
+        with pytest.raises(ValueError, match="iteration"):
+            self._revision(election_table, [], iteration=0)
+
+    def test_split_feedback_roundtrip(self, election_table):
+        prompt = self._revision(
+            election_table,
+            [("votes", "102,000", ""), ("party", None, "no evidence")],
+            iteration=2,
+        )
+        feedback, iteration = split_feedback(prompt)
+        assert feedback == {"votes": "102,000", "party": None}
+        assert iteration == 2
+
+    def test_plain_prompt_has_no_feedback(self, election_table):
+        masked = election_table.row(0).replace_value("votes", "NaN")
+        prompt = tuple_completion_prompt(
+            election_table.caption, masked.columns, [masked.values]
+        )
+        assert split_feedback(prompt) == ({}, 0)
+
+    def test_stated_value_is_adopted(self, amnesic_llm, election_table):
+        prompt = self._revision(
+            election_table, [("votes", "102,000", "")], iteration=1
+        )
+        header, rows = parse_completed_table(amnesic_llm.chat(prompt))
+        assert dict(zip(header, rows[0]))["votes"] == "102,000"
+
+    def test_revision_rolls_a_fresh_deterministic_guess(
+        self, amnesic_llm, election_table
+    ):
+        """Without a stated value the retry re-draws with an
+        attempt-keyed rng: stable per iteration, and the first draft's
+        rng stream is untouched."""
+        masked = election_table.row(0).replace_value("votes", "NaN")
+        plain = tuple_completion_prompt(
+            election_table.caption, masked.columns, [masked.values]
+        )
+        note = [("votes", None, "no related evidence was found")]
+
+        def value_of(response):
+            header, rows = parse_completed_table(response)
+            return dict(zip(header, rows[0]))["votes"]
+
+        first = value_of(amnesic_llm.chat(plain))
+        retries = {
+            iteration: value_of(
+                amnesic_llm.chat(
+                    self._revision(election_table, note, iteration)
+                )
+            )
+            for iteration in (1, 2, 3)
+        }
+        # identical prompts still yield identical answers
+        assert value_of(amnesic_llm.chat(plain)) == first
+        for iteration, value in retries.items():
+            assert value_of(
+                amnesic_llm.chat(
+                    self._revision(election_table, note, iteration)
+                )
+            ) == value
+        # the retry stream explores the domain rather than repeating
+        # one draw: across attempts 0..3 at least two values appear
+        assert len({first, *retries.values()}) >= 2
+
+    def test_call_count_is_pinned(self, amnesic_llm, election_table):
+        """One chat call per draft — the loop never hides extra calls."""
+        prompt = self._revision(
+            election_table, [("votes", "102,000", "")], iteration=1
+        )
+        before = amnesic_llm.num_calls
+        amnesic_llm.chat(prompt)
+        amnesic_llm.chat(prompt)
+        assert amnesic_llm.num_calls == before + 2
+
+    def test_feedback_only_touches_disputed_columns(
+        self, perfect_llm, election_table
+    ):
+        """Columns without feedback still fill from memory on a retry."""
+        masked = (
+            election_table.row(0)
+            .replace_value("party", "NaN")
+            .replace_value("votes", "NaN")
+        )
+        prompt = tuple_revision_prompt(
+            election_table.caption, masked.columns, [masked.values],
+            [("votes", "999,999", "")], iteration=1,
+        )
+        header, rows = parse_completed_table(perfect_llm.chat(prompt))
+        completed = dict(zip(header, rows[0]))
+        assert completed["votes"] == "999,999"   # adopted from feedback
+        assert completed["party"] == "republican"  # recalled from memory
 
 
 class TestClaimQA:

@@ -1,10 +1,14 @@
 """Verify-and-repair loop."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.core.pipeline import VerifAI
 from repro.llm.model import SimulatedLLM
-from repro.repair import RepairAction, Repairer
+from repro.repair import RepairAction, Repairer, strongest_refuter
+from repro.verify.base import VerificationOutcome
+from repro.verify.verdict import Verdict
 
 
 @pytest.fixture(scope="module")
@@ -112,6 +116,111 @@ class TestRepairBatch:
         report = repairer.repair_batch([])
         assert len(report) == 0
         assert report.summary().startswith("0 values")
+
+
+def _refuting_report(*evidence_ids):
+    """A minimal stand-in report carrying only refuting outcomes."""
+    return SimpleNamespace(
+        refuting=[
+            VerificationOutcome(
+                verdict=Verdict.REFUTED,
+                explanation="",
+                verifier="test",
+                evidence_id=evidence_id,
+            )
+            for evidence_id in evidence_ids
+        ]
+    )
+
+
+class TestStrongestRefuter:
+    """The shared repair/loop evidence-selection helper."""
+
+    def test_empty_report_yields_none(self, repairer):
+        assert strongest_refuter(
+            repairer.system, _refuting_report(), "votes"
+        ) is None
+
+    def test_evidence_row_lacking_the_column_is_skipped(self, repairer):
+        # the medal table has no "votes" column, so its row cannot
+        # state a repair value even though it refuted the draft
+        report = _refuting_report("t-games-1960#r0")
+        assert strongest_refuter(repairer.system, report, "votes") is None
+
+    def test_non_row_evidence_is_skipped(self, repairer):
+        # a document id resolves to a text file, not a Row
+        report = _refuting_report("page-jenkins", "t-ohio-1950#r0")
+        value, evidence_id = strongest_refuter(
+            repairer.system, report, "votes"
+        )
+        assert evidence_id == "t-ohio-1950#r0"
+        assert value == "102,000"
+
+    def test_trust_tie_breaks_on_evidence_id_not_order(
+        self, quiet_profile
+    ):
+        from repro.datalake.lake import DataLake
+        from repro.datalake.types import Source, Table
+
+        lake = DataLake("tied")
+        for table_id, votes in (
+            ("t-beta", "222,000"), ("t-alpha", "111,000"),
+        ):
+            lake.add_table(Table(
+                table_id, f"ohio election results {table_id}",
+                ("district", "votes"), [("ohio 9", votes)],
+                source=Source("web"), key_column="district",
+            ))
+        llm = SimulatedLLM(knowledge=None, profile=quiet_profile, seed=30)
+        system = VerifAI(lake, llm=llm).build_indexes()
+        forward = _refuting_report("t-alpha#r0", "t-beta#r0")
+        backward = _refuting_report("t-beta#r0", "t-alpha#r0")
+        assert (
+            strongest_refuter(system, forward, "votes")
+            == strongest_refuter(system, backward, "votes")
+            == ("111,000", "t-alpha#r0")
+        )
+
+    def test_repairer_method_delegates(self, repairer):
+        report = _refuting_report("t-ohio-1950#r0")
+        assert repairer._evidence_value(report, "votes") == (
+            strongest_refuter(repairer.system, report, "votes")
+        )
+
+
+class TestRepairBatchBoundaries:
+    def test_batch_over_empty_report_counts_nothing(self, repairer):
+        report = repairer.repair_batch([])
+        assert (report.accepted, report.repaired, report.unresolved) == (
+            0, 0, 0
+        )
+        assert list(iter(report)) == []
+
+    def test_evidence_without_the_column_never_invents_a_value(
+        self, quiet_profile
+    ):
+        """When no lake evidence can state the target column, a failed
+        draft keeps its generated value (UNRESOLVED), never a fabricated
+        repair."""
+        from repro.datalake.lake import DataLake
+        from repro.datalake.types import Row, Source, Table
+
+        lake = DataLake("column-gap")
+        # same entity family, but the lake schema has no "votes" column
+        # to quote a repair value from
+        lake.add_table(Table(
+            "t-novotes", "ohio election results",
+            ("district", "winner"), [("ohio 9", "kirwan")],
+            source=Source("web"), key_column="district",
+        ))
+        llm = SimulatedLLM(knowledge=None, profile=quiet_profile, seed=30)
+        repairer = Repairer(VerifAI(lake, llm=llm).build_indexes())
+        row = Row(
+            "t-draft", 0, ("district", "votes"), ("ohio 9", "999")
+        )
+        result = repairer.repair_value("g1", row, "votes")
+        assert result.action is not RepairAction.REPAIRED
+        assert result.final_value == "999"
 
 
 class TestRepairImprovesAccuracy:
